@@ -1,0 +1,82 @@
+// Command carsql is a small SQL shell over the embedded probabilistic
+// relational engine — useful for inspecting the concept/role tables and the
+// compiled preference views (§5's "uniform tabular view towards both static
+// and dynamic contexts").
+//
+// With -demo it preloads the paper's Table 1 example so concept tables
+// (c_TvProgram, r_hasGenre, …) and the EVENT builtins (PROB, EV_AND, …) can
+// be explored immediately:
+//
+//	$ carsql -demo
+//	sql> SELECT id, PROB(ev) FROM c_TvProgram ORDER BY id;
+//
+// Meta commands: \t lists tables, \v lists views, \q quits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "preload the paper's Table 1 example data")
+	flag.Parse()
+
+	var db *engine.DB
+	if *demo {
+		loader, _, err := experiments.SetupTable1()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "carsql:", err)
+			os.Exit(1)
+		}
+		db = loader.DB()
+		fmt.Println("loaded Table 1 demo: tables c_TvProgram, r_hasGenre, r_hasSubject, c_Weekend, c_Breakfast, dl_domain")
+	} else {
+		db = engine.New()
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("sql> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\q` || line == "quit" || line == "exit":
+			return
+		case line == `\t`:
+			for _, t := range db.TableNames() {
+				fmt.Println(t)
+			}
+		case line == `\v`:
+			for _, v := range db.ViewNames() {
+				fmt.Println(v)
+			}
+		default:
+			res, err := db.Exec(strings.TrimSuffix(line, ";"))
+			switch {
+			case err != nil:
+				fmt.Println("error:", err)
+			case res == nil:
+				fmt.Println("ok")
+			default:
+				fmt.Println(strings.Join(res.Cols, " | "))
+				for _, row := range res.Rows {
+					cells := make([]string, len(row))
+					for i, v := range row {
+						cells[i] = v.String()
+					}
+					fmt.Println(strings.Join(cells, " | "))
+				}
+				fmt.Printf("(%d rows)\n", len(res.Rows))
+			}
+		}
+		fmt.Print("sql> ")
+	}
+}

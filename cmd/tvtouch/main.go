@@ -1,0 +1,143 @@
+// Command tvtouch is an interactive demo of the paper's motivating
+// application (§1): a context-aware media player that suggests programs
+// based on the user's current situation. Flags set the simulated clock,
+// room and activity; the tool prints the ranked suggestion list with the
+// per-rule explanation trace.
+//
+// Usage:
+//
+//	tvtouch [-when "2026-06-15T07:30"] [-room kitchen|living|office]
+//	        [-activity cooking|relaxing|working] [-accuracy 0.8] [-top 5] [-explain]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	contextrank "repro"
+	"repro/internal/situation"
+)
+
+var roomConcept = map[string]string{
+	"kitchen": "InKitchen",
+	"living":  "InLivingRoom",
+	"office":  "InOffice",
+}
+
+var activityConcept = map[string]string{
+	"cooking":  "Cooking",
+	"relaxing": "Relaxing",
+	"working":  "Working",
+}
+
+func main() {
+	var (
+		when     = flag.String("when", "2026-06-15T07:30", "simulated local time, format 2006-01-02T15:04")
+		room     = flag.String("room", "kitchen", "true room: kitchen, living, office")
+		activity = flag.String("activity", "cooking", "true activity: cooking, relaxing, working")
+		accuracy = flag.Float64("accuracy", 0.8, "location/activity sensor accuracy in (0,1]")
+		top      = flag.Int("top", 5, "number of suggestions")
+		explain  = flag.Bool("explain", true, "print per-rule explanations for the top pick")
+	)
+	flag.Parse()
+
+	now, err := time.ParseInLocation("2006-01-02T15:04", *when, time.Local)
+	if err != nil {
+		log.Fatalf("tvtouch: bad -when: %v", err)
+	}
+	trueRoom, ok := roomConcept[*room]
+	if !ok {
+		log.Fatalf("tvtouch: unknown room %q", *room)
+	}
+	trueActivity, ok := activityConcept[*activity]
+	if !ok {
+		log.Fatalf("tvtouch: unknown activity %q", *activity)
+	}
+
+	sys := buildGuide()
+
+	ctx, err := contextrank.SenseContext("peter",
+		situation.ClockSensor{Now: now},
+		situation.LocationSensor{
+			Rooms:    []string{"InKitchen", "InLivingRoom", "InOffice"},
+			TrueRoom: trueRoom, Accuracy: *accuracy,
+		},
+		situation.ActivitySensor{
+			Activities:   []string{"Cooking", "Relaxing", "Working"},
+			TrueActivity: trueActivity, Confidence: *accuracy,
+		},
+	)
+	check(err)
+	check(sys.SetContext(ctx))
+
+	results, err := sys.RankWith("peter", "TvProgram",
+		contextrank.RankOptions{Limit: *top, Explain: *explain})
+	check(err)
+
+	fmt.Printf("TVTouch — %s, %s, %s (sensor accuracy %.0f%%)\n",
+		now.Format("Mon 15:04"), *room, *activity, *accuracy*100)
+	fmt.Println("suggested programs:")
+	for i, r := range results {
+		fmt.Printf("%2d. %-16s %.4f\n", i+1, r.ID, r.Score)
+	}
+	if *explain && len(results) > 0 {
+		fmt.Println("\ntop pick explained:")
+		for _, c := range results[0].Explanation.Rules {
+			fmt.Println("  - " + c.String())
+		}
+	}
+}
+
+func buildGuide() *contextrank.System {
+	sys := contextrank.NewSystem()
+	check(sys.DeclareConcept("TvProgram"))
+	check(sys.DeclareRole("hasGenre", "hasSubject"))
+	programs := []struct {
+		id      string
+		genre   string
+		gProb   float64
+		subject string
+		sProb   float64
+	}{
+		{"traffic_7am", "", 0, "Traffic", 1.0},
+		{"weather_7am", "", 0, "Weather", 1.0},
+		{"morning_news", "", 0, "News", 0.95},
+		{"evening_news", "", 0, "News", 0.95},
+		{"oprah_rerun", "HUMAN-INTEREST", 0.85, "", 0},
+		{"cooking_show", "LIFESTYLE", 0.9, "", 0},
+		{"nature_doc", "DOCUMENTARY", 1.0, "", 0},
+		{"late_movie", "THRILLER", 1.0, "", 0},
+	}
+	for _, p := range programs {
+		check(sys.AssertConcept("TvProgram", p.id, 1))
+		if p.genre != "" {
+			check(sys.AssertRole("hasGenre", p.id, p.genre, p.gProb))
+		}
+		if p.subject != "" {
+			check(sys.AssertRole("hasSubject", p.id, p.subject, p.sProb))
+		}
+	}
+	for _, rule := range []string{
+		"RULE traffic WHEN Workday AND Morning PREFER TvProgram AND EXISTS hasSubject.{Traffic} WITH 0.8",
+		"RULE weather WHEN Workday AND Morning PREFER TvProgram AND EXISTS hasSubject.{Weather} WITH 0.6",
+		"RULE news WHEN Breakfast PREFER TvProgram AND EXISTS hasSubject.{News} WITH 0.9",
+		"RULE weekend WHEN Weekend PREFER TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST} WITH 0.8",
+		"RULE kitchen WHEN InKitchen PREFER TvProgram AND EXISTS hasGenre.{LIFESTYLE} WITH 0.7",
+		"RULE evening WHEN Evening AND Relaxing PREFER TvProgram AND EXISTS hasGenre.{THRILLER} WITH 0.75",
+	} {
+		if _, err := sys.AddRule(rule); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return sys
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvtouch:", err)
+		os.Exit(1)
+	}
+}

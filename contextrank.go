@@ -1,0 +1,492 @@
+// Package contextrank is a context-aware preference ranking library: a Go
+// reproduction of "Ranking Query Results using Context-Aware Preferences"
+// (van Bunningen, Fokkinga, Apers, Feng — ICDE 2007 Workshops).
+//
+// The library scores database tuples by the probability that each is the
+// "ideal document" for the user's current context, using scored preference
+// rules (Context, Preference, σ) whose Context and Preference are
+// Description Logic concept expressions and whose σ has an explanatory
+// semantics grounded in the user's history. Uncertain context (sensed) and
+// uncertain document features are carried through exactly via probabilistic
+// event expressions.
+//
+// A System bundles the embedded probabilistic relational engine, the
+// DL-to-SQL mapping layer, the rule repository and four interchangeable
+// rankers (factorized, naive, view, sampled):
+//
+//	sys := contextrank.NewSystem()
+//	sys.DeclareConcept("TvProgram")
+//	sys.DeclareRole("hasGenre")
+//	sys.AssertConcept("TvProgram", "Oprah", 1.0)
+//	sys.AssertRole("hasGenre", "Oprah", "HUMAN-INTEREST", 0.85)
+//	sys.AddRule("RULE R1 WHEN Weekend PREFER TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST} WITH 0.8")
+//	sys.SetContext(contextrank.NewContext("peter").Certain("Weekend"))
+//	results, err := sys.Rank("peter", "TvProgram")
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package contextrank
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dl"
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/history"
+	"repro/internal/ir"
+	"repro/internal/mapping"
+	"repro/internal/prefs"
+	"repro/internal/situation"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// Re-exported types so downstream users need only this package.
+type (
+	// Rule is a scored preference rule (Context, Preference, σ).
+	Rule = prefs.Rule
+	// Result is one ranked candidate with optional explanation.
+	Result = core.Result
+	// Explanation is the per-rule trace attached to a Result.
+	Explanation = core.Explanation
+	// Context is the situated user's uncertain context.
+	Context = situation.Context
+	// Sensor contributes measurements to a Context.
+	Sensor = situation.Sensor
+	// QueryResult is a materialized SQL result set.
+	QueryResult = sql.Result
+	// HistoryLog is an append-only log of choice episodes.
+	HistoryLog = history.Log
+	// Episode is one historical choice situation.
+	Episode = history.Episode
+	// HistoryDoc is a candidate document inside an Episode.
+	HistoryDoc = history.Doc
+	// Estimate is a mined σ estimate.
+	Estimate = history.Estimate
+	// IRIndex is a feature-frequency index for the query-dependent score.
+	IRIndex = ir.Index
+	// IRDocument is one bag-of-features document in an IRIndex.
+	IRDocument = ir.Document
+)
+
+// NewContext returns an empty context for the given user individual.
+func NewContext(user string) *Context { return situation.New(user) }
+
+// SenseContext builds a context by running the given sensors.
+func SenseContext(user string, sensors ...Sensor) (*Context, error) {
+	return situation.SenseAll(user, sensors...)
+}
+
+// ParseRule parses the textual rule syntax
+// "[RULE name] WHEN <ctx> PREFER <pref> WITH <σ>".
+func ParseRule(text string) (Rule, error) { return prefs.ParseRule(text) }
+
+// Algorithm selects a ranking implementation.
+type Algorithm string
+
+// Available ranking algorithms.
+const (
+	// AlgorithmFactorized is the optimized ranker (§6 extension): exact,
+	// linear in the number of independent rules. The default.
+	AlgorithmFactorized Algorithm = "factorized"
+	// AlgorithmNaive is the literal §3.3 double sum — the reference
+	// semantics, exponential in the number of rules.
+	AlgorithmNaive Algorithm = "naive"
+	// AlgorithmView is the paper's §5 implementation through a database
+	// "big preference view" — exponential, reproduces the paper's
+	// bottleneck.
+	AlgorithmView Algorithm = "view"
+	// AlgorithmSampled is the Monte Carlo approximation: O(samples·rules)
+	// per candidate regardless of correlation structure, with
+	// O(1/√samples) standard error. Deterministic per System (fixed seed).
+	AlgorithmSampled Algorithm = "sampled"
+)
+
+// RankOptions tune a Rank call.
+type RankOptions struct {
+	Algorithm Algorithm // defaults to AlgorithmFactorized
+	Threshold float64   // drop scores <= Threshold
+	Limit     int       // keep at most Limit results (0 = all)
+	Explain   bool      // attach per-rule explanations
+}
+
+// System bundles the engine, the DL mapping, the rule repository and the
+// rankers. Create with NewSystem; safe for concurrent reads, but schema
+// changes, assertions and context updates must not race with ranking.
+type System struct {
+	db     *engine.DB
+	loader *mapping.Loader
+	repo   *prefs.Repository
+	log    *history.Log
+	evSeq  atomic.Int64
+
+	naive      *core.NaiveRanker
+	factorized *core.FactorizedRanker
+	view       *core.ViewRanker
+	sampled    *core.SampledRanker
+}
+
+// NewSystem creates an empty system with a fresh database.
+func NewSystem() *System {
+	db := engine.New()
+	loader := mapping.NewLoader(db, dl.NewTBox())
+	return &System{
+		db:         db,
+		loader:     loader,
+		repo:       prefs.NewRepository(),
+		log:        history.NewLog(),
+		naive:      core.NewNaiveRanker(loader),
+		factorized: core.NewFactorizedRanker(loader),
+		view:       core.NewViewRanker(loader),
+		sampled:    core.NewSampledRanker(loader, 0, 1),
+	}
+}
+
+// DB exposes the embedded database for direct SQL (SELECT/CREATE/INSERT…).
+func (s *System) DB() *engine.DB { return s.db }
+
+// Loader exposes the DL mapping layer for advanced use.
+func (s *System) Loader() *mapping.Loader { return s.loader }
+
+// Rules returns the rule repository.
+func (s *System) Rules() *prefs.Repository { return s.repo }
+
+// History returns the system's choice log (for σ mining).
+func (s *System) History() *history.Log { return s.log }
+
+// DeclareConcept registers an atomic concept (idempotent).
+func (s *System) DeclareConcept(names ...string) error {
+	for _, n := range names {
+		if err := s.loader.DeclareConcept(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeclareRole registers a role (idempotent).
+func (s *System) DeclareRole(names ...string) error {
+	for _, n := range names {
+		if err := s.loader.DeclareRole(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SubConcept records the TBox axiom sub ⊑ super (super in DL syntax).
+func (s *System) SubConcept(sub, super string) error {
+	e, err := dl.Parse(super)
+	if err != nil {
+		return err
+	}
+	s.loader.TBox().AddSub(sub, e)
+	return nil
+}
+
+// freshEvent declares a new basic event with probability p and returns it.
+func (s *System) freshEvent(prefix string, p float64) (*event.Expr, error) {
+	name := fmt.Sprintf("%s_%d", prefix, s.evSeq.Add(1))
+	if err := s.db.Space().Declare(name, p); err != nil {
+		return nil, err
+	}
+	return event.Basic(name), nil
+}
+
+// AssertConcept asserts id ∈ concept with the given probability: 1 is a
+// certain assertion, anything in (0,1) creates a fresh independent basic
+// event carrying the uncertainty.
+func (s *System) AssertConcept(concept, id string, prob float64) error {
+	ev, err := s.assertionEvent("c", prob)
+	if err != nil {
+		return err
+	}
+	return s.loader.AssertConcept(concept, id, ev)
+}
+
+// AssertRole asserts (src, dst) ∈ role with the given probability.
+func (s *System) AssertRole(role, src, dst string, prob float64) error {
+	ev, err := s.assertionEvent("r", prob)
+	if err != nil {
+		return err
+	}
+	return s.loader.AssertRole(role, src, dst, ev)
+}
+
+func (s *System) assertionEvent(prefix string, prob float64) (*event.Expr, error) {
+	switch {
+	case prob == 1:
+		return event.True(), nil
+	case prob > 0 && prob < 1:
+		return s.freshEvent(prefix, prob)
+	default:
+		return nil, fmt.Errorf("contextrank: assertion probability %g outside (0,1]", prob)
+	}
+}
+
+// AddRule parses and registers a scored preference rule, validating its
+// vocabulary against the declared concepts and roles.
+func (s *System) AddRule(text string) (Rule, error) {
+	rule, err := prefs.ParseRule(text)
+	if err != nil {
+		return Rule{}, err
+	}
+	if err := s.validateRuleVocabulary(rule); err != nil {
+		return Rule{}, err
+	}
+	return rule, s.repo.Add(rule)
+}
+
+// validateRuleVocabulary checks that a rule's preference uses declared
+// vocabulary. Context concepts may be declared lazily by SetContext, so
+// they are auto-declared here instead of rejected.
+func (s *System) validateRuleVocabulary(rule Rule) error {
+	for _, c := range rule.Context.Signature().Concepts {
+		if err := s.loader.DeclareConcept(c); err != nil {
+			return err
+		}
+	}
+	sig := rule.Preference.Signature()
+	for _, c := range sig.Concepts {
+		if !s.loader.HasConcept(c) {
+			return fmt.Errorf("contextrank: rule %s prefers undeclared concept %q", rule.Name, c)
+		}
+	}
+	for _, r := range sig.Roles {
+		if !s.loader.HasRole(r) {
+			return fmt.Errorf("contextrank: rule %s uses undeclared role %q", rule.Name, r)
+		}
+	}
+	for _, r := range rule.Context.Signature().Roles {
+		if !s.loader.HasRole(r) {
+			return fmt.Errorf("contextrank: rule %s context uses undeclared role %q", rule.Name, r)
+		}
+	}
+	return nil
+}
+
+// SetContext applies the user's current context, replacing the previous
+// one.
+func (s *System) SetContext(ctx *Context) error { return ctx.Apply(s.loader) }
+
+// Rank scores the members of the target concept expression (DL syntax) for
+// the user with the repository's rules, using default options.
+func (s *System) Rank(user, target string) ([]Result, error) {
+	return s.RankWith(user, target, RankOptions{})
+}
+
+// RankWith is Rank with explicit options.
+func (s *System) RankWith(user, target string, opts RankOptions) ([]Result, error) {
+	targetExpr, err := dl.Parse(target)
+	if err != nil {
+		return nil, err
+	}
+	req := core.Request{
+		User:      user,
+		Target:    targetExpr,
+		Rules:     s.repo.Rules(),
+		Threshold: opts.Threshold,
+		Limit:     opts.Limit,
+		Explain:   opts.Explain,
+	}
+	var ranker core.Ranker
+	switch opts.Algorithm {
+	case "", AlgorithmFactorized:
+		ranker = s.factorized
+	case AlgorithmNaive:
+		ranker = s.naive
+	case AlgorithmView:
+		ranker = s.view
+	case AlgorithmSampled:
+		ranker = s.sampled
+	default:
+		return nil, fmt.Errorf("contextrank: unknown algorithm %q", opts.Algorithm)
+	}
+	return ranker.Rank(req)
+}
+
+// GroupPolicy selects how member scores combine in RankGroup.
+type GroupPolicy = core.GroupPolicy
+
+// Group aggregation policies (§6 "Modeling multiple users").
+const (
+	// PolicyConsensus multiplies member probabilities (ideal for everyone).
+	PolicyConsensus = core.PolicyConsensus
+	// PolicyAverage takes the utilitarian mean.
+	PolicyAverage = core.PolicyAverage
+	// PolicyLeastMisery takes the minimum member score.
+	PolicyLeastMisery = core.PolicyLeastMisery
+)
+
+// GroupResult is one candidate with its group and per-member scores.
+type GroupResult = core.GroupResult
+
+// RankGroup ranks the target for several users at once (§6 "Modeling
+// multiple users"), combining their repository rules per user name from
+// rulesFor (missing users rank with no rules, i.e. neutrally). The shared
+// context must have been applied with memberships for every user — use
+// Context.CertainFor/AddFor to put several individuals into one snapshot.
+func (s *System) RankGroup(users []string, target string, rulesFor map[string][]Rule, policy GroupPolicy) ([]GroupResult, error) {
+	targetExpr, err := dl.Parse(target)
+	if err != nil {
+		return nil, err
+	}
+	return core.GroupRank(s.factorized, core.GroupRequest{
+		Users:    users,
+		Target:   targetExpr,
+		RulesFor: rulesFor,
+		Policy:   policy,
+	})
+}
+
+// AnalyzeRules inspects the rule repository for duplicates, σ conflicts,
+// context-subsumption overlaps and disjointness-unsatisfiable preferences
+// under the system's TBox.
+func (s *System) AnalyzeRules() []prefs.Finding {
+	return s.repo.Analyze(s.loader.TBox())
+}
+
+// SaveSnapshot persists the rule repository into the database and dumps the
+// whole database (event space, tables, views, indexes) as JSON to w.
+func (s *System) SaveSnapshot(w io.Writer) error {
+	if err := s.repo.Persist(s.db); err != nil {
+		return err
+	}
+	return s.db.Dump(w)
+}
+
+// RestoreSystem rebuilds a System from a snapshot written by SaveSnapshot:
+// data, event space, views, DL vocabulary and preference rules all survive
+// the round trip. The history log and the current context do not (context
+// is sensed fresh, §5).
+func RestoreSystem(r io.Reader) (*System, error) {
+	db := engine.New()
+	if err := db.Restore(r); err != nil {
+		return nil, err
+	}
+	loader := mapping.NewLoader(db, dl.NewTBox())
+	repo, err := prefs.LoadRepository(db)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		db:         db,
+		loader:     loader,
+		repo:       repo,
+		log:        history.NewLog(),
+		naive:      core.NewNaiveRanker(loader),
+		factorized: core.NewFactorizedRanker(loader),
+		view:       core.NewViewRanker(loader),
+		sampled:    core.NewSampledRanker(loader, 0, 1),
+	}, nil
+}
+
+// Query runs a SQL statement against the embedded database (the uniform
+// declarative interface of §5).
+func (s *System) Query(stmt string) (*QueryResult, error) { return s.db.Query(stmt) }
+
+// RankQuery implements the paper's §5 integration of context ranking with
+// the user's own query: the SQL query supplies the candidate tuples (its
+// first column must be the individual id), the preference rules supply the
+// context-aware score, and the result is the candidates reordered by
+// descending preferencescore — equation (3) with the query-dependent part
+// being 1 for tuples the query returned and 0 otherwise.
+func (s *System) RankQuery(user, sqlQuery string, opts RankOptions) ([]Result, error) {
+	res, err := s.db.Query(sqlQuery)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Cols) == 0 {
+		return nil, fmt.Errorf("contextrank: query returned no columns")
+	}
+	candidates := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		if row[0].T != storage.TypeText {
+			return nil, fmt.Errorf("contextrank: first query column must be a TEXT id, got %s", row[0].T)
+		}
+		candidates = append(candidates, row[0].S)
+	}
+	if opts.Algorithm == AlgorithmView {
+		return nil, fmt.Errorf("contextrank: RankQuery does not support the view algorithm (it ranks whole concepts); use factorized, naive or sampled")
+	}
+	var ranker core.Ranker
+	switch opts.Algorithm {
+	case "", AlgorithmFactorized:
+		ranker = s.factorized
+	case AlgorithmNaive:
+		ranker = s.naive
+	case AlgorithmSampled:
+		ranker = s.sampled
+	default:
+		return nil, fmt.Errorf("contextrank: unknown algorithm %q", opts.Algorithm)
+	}
+	return ranker.Rank(core.Request{
+		User:       user,
+		Candidates: candidates,
+		Rules:      s.repo.Rules(),
+		Threshold:  opts.Threshold,
+		Limit:      opts.Limit,
+		Explain:    opts.Explain,
+	})
+}
+
+// Exec runs a SQL statement that may not return rows.
+func (s *System) Exec(stmt string) (*QueryResult, error) { return s.db.Exec(stmt) }
+
+// RecordEpisode appends a choice episode to the history log.
+func (s *System) RecordEpisode(e Episode) error { return s.log.Append(e) }
+
+// MineRules mines σ estimates from the history log (§6 "Mining/learning
+// preferences") and converts each estimate with at least minSupport
+// supporting episodes into a scored preference rule via the caller's
+// feature-to-concept translations. Mined rules are returned, not
+// auto-registered; call Rules().Add to adopt them.
+func (s *System) MineRules(minSupport int, ctxConcept func(feature string) string, prefExpr func(feature string) string) ([]Rule, error) {
+	if ctxConcept == nil || prefExpr == nil {
+		return nil, fmt.Errorf("contextrank: MineRules requires translation callbacks")
+	}
+	ests := s.log.MineAll(minSupport)
+	var out []Rule
+	for _, est := range ests {
+		ctxName := ctxConcept(est.ContextFeature)
+		prefText := prefExpr(est.DocFeature)
+		if ctxName == "" || prefText == "" {
+			continue // caller filtered this feature out
+		}
+		pref, err := dl.Parse(prefText)
+		if err != nil {
+			return nil, fmt.Errorf("contextrank: mined preference %q: %w", prefText, err)
+		}
+		rule := Rule{
+			Name:       fmt.Sprintf("mined-%s-%s", est.ContextFeature, est.DocFeature),
+			Context:    dl.Atom(ctxName),
+			Preference: pref,
+			Sigma:      est.Sigma,
+		}
+		if err := rule.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, rule)
+	}
+	return out, nil
+}
+
+// NewIRIndex returns an empty feature index for the traditional
+// (query-dependent) language-model score of §2.
+func NewIRIndex() *ir.Index { return ir.NewIndex() }
+
+// QueryDependentScore computes the Ponte–Croft language-model probability
+// P(q|d) with Jelinek–Mercer smoothing λ over the given index.
+func QueryDependentScore(ix *ir.Index, docID string, query []string, lambda float64) (float64, error) {
+	return ir.Model{Index: ix, Lambda: lambda}.Score(docID, query)
+}
+
+// CombinedScore blends the query-dependent and context scores with the §6
+// smoothing weight: lambda 1 = pure query, 0 = pure context.
+func CombinedScore(queryDependent, contextScore, lambda float64) (float64, error) {
+	return core.SmoothedScore(queryDependent, contextScore, lambda)
+}

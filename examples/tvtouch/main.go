@@ -1,0 +1,123 @@
+// Command tvtouch runs the paper's motivating scenario (§1): the TVTouch
+// media player suggests programs each morning based on the user's sensed —
+// and therefore uncertain — context. A clock, a room-level location sensor
+// and an activity recognizer feed the situated user's context; the ranking
+// is recomputed as the context develops ("as the current context develops,
+// the probabilities of containment of tuples in the view change
+// accordingly", §5).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	contextrank "repro"
+	"repro/internal/situation"
+)
+
+func main() {
+	sys := contextrank.NewSystem()
+	check(sys.DeclareConcept("TvProgram"))
+	check(sys.DeclareRole("hasGenre", "hasSubject"))
+
+	// A small program guide; feature probabilities model imperfect
+	// auto-tagging by the data supplier (§3.1).
+	programs := []struct {
+		id      string
+		genre   string
+		gProb   float64
+		subject string
+		sProb   float64
+	}{
+		{"traffic_7am", "", 0, "Traffic", 1.0},
+		{"weather_7am", "", 0, "Weather", 1.0},
+		{"morning_news", "", 0, "News", 0.95},
+		{"oprah_rerun", "HUMAN-INTEREST", 0.85, "", 0},
+		{"cooking_show", "LIFESTYLE", 0.9, "", 0},
+		{"late_movie", "THRILLER", 1.0, "", 0},
+	}
+	for _, p := range programs {
+		check(sys.AssertConcept("TvProgram", p.id, 1))
+		if p.genre != "" {
+			check(sys.AssertRole("hasGenre", p.id, p.genre, p.gProb))
+		}
+		if p.subject != "" {
+			check(sys.AssertRole("hasSubject", p.id, p.subject, p.sProb))
+		}
+	}
+
+	// Peter's preference rules: traffic and weather on workday mornings
+	// (the Figure 1 abstraction: σ 0.8 and 0.6), news at breakfast, and
+	// human interest in the weekend.
+	for _, rule := range []string{
+		"RULE traffic WHEN Workday AND Morning PREFER TvProgram AND EXISTS hasSubject.{Traffic} WITH 0.8",
+		"RULE weather WHEN Workday AND Morning PREFER TvProgram AND EXISTS hasSubject.{Weather} WITH 0.6",
+		"RULE news WHEN Breakfast PREFER TvProgram AND EXISTS hasSubject.{News} WITH 0.9",
+		"RULE weekend WHEN Weekend PREFER TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST} WITH 0.8",
+		"RULE kitchen WHEN InKitchen PREFER TvProgram AND EXISTS hasGenre.{LIFESTYLE} WITH 0.7",
+	} {
+		if _, err := sys.AddRule(rule); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	show := func(title string, sensors ...contextrank.Sensor) {
+		ctx, err := contextrank.SenseContext("peter", sensors...)
+		check(err)
+		check(sys.SetContext(ctx))
+		results, err := sys.RankWith("peter", "TvProgram",
+			contextrank.RankOptions{Explain: true, Limit: 3})
+		check(err)
+		fmt.Printf("\n=== %s ===\n", title)
+		fmt.Print("sensed: ")
+		for i, m := range ctx.Measurements {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%s %.2f", m.Concept, m.Prob)
+		}
+		fmt.Println()
+		for rank, r := range results {
+			fmt.Printf("%d. %-14s %.4f\n", rank+1, r.ID, r.Score)
+		}
+		if len(results) > 0 {
+			fmt.Println("   top pick because:")
+			for _, c := range results[0].Explanation.Rules {
+				if !c.Pruned {
+					fmt.Println("   - " + c.String())
+				}
+			}
+		}
+	}
+
+	rooms := []string{"InKitchen", "InLivingRoom", "InOffice"}
+	activities := []string{"Cooking", "Relaxing", "Working"}
+
+	// Monday 7:30 — breakfast in the kitchen, location a bit noisy.
+	show("Monday 07:30, making breakfast",
+		situation.ClockSensor{Now: time.Date(2026, 6, 15, 7, 30, 0, 0, time.Local)},
+		situation.LocationSensor{Rooms: rooms, TrueRoom: "InKitchen", Accuracy: 0.8},
+		situation.ActivitySensor{Activities: activities, TrueActivity: "Cooking", Confidence: 0.7},
+	)
+
+	// Saturday 10:00 — relaxing in the living room.
+	show("Saturday 10:00, relaxing",
+		situation.ClockSensor{Now: time.Date(2026, 6, 20, 10, 0, 0, 0, time.Local)},
+		situation.LocationSensor{Rooms: rooms, TrueRoom: "InLivingRoom", Accuracy: 0.9},
+		situation.ActivitySensor{Activities: activities, TrueActivity: "Relaxing", Confidence: 0.8},
+	)
+
+	// Monday 20:00 — no morning rules apply; ranking flattens.
+	show("Monday 20:00, working late",
+		situation.ClockSensor{Now: time.Date(2026, 6, 15, 20, 0, 0, 0, time.Local)},
+		situation.LocationSensor{Rooms: rooms, TrueRoom: "InOffice", Accuracy: 0.9},
+		situation.ActivitySensor{Activities: activities, TrueActivity: "Working", Confidence: 0.9},
+	)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

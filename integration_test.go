@@ -1,0 +1,163 @@
+package contextrank
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/situation"
+)
+
+// TestEndToEndLifecycle drives one system through the whole lifecycle a
+// deployment would see: schema, data, rules, sensed context, ranking,
+// explanation, context switch, re-ranking, SQL inspection, snapshot,
+// restore, and ranking again on the restored instance.
+func TestEndToEndLifecycle(t *testing.T) {
+	sys := NewSystem()
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(sys.DeclareConcept("TvProgram"))
+	check(sys.DeclareRole("hasGenre", "hasSubject"))
+	programs := []struct {
+		id, role, val string
+		p             float64
+	}{
+		{"traffic_7am", "hasSubject", "Traffic", 1.0},
+		{"weather_7am", "hasSubject", "Weather", 1.0},
+		{"news_7am", "hasSubject", "News", 0.95},
+		{"oprah", "hasGenre", "HUMAN-INTEREST", 0.85},
+		{"movie", "hasGenre", "THRILLER", 1.0},
+	}
+	for _, p := range programs {
+		check(sys.AssertConcept("TvProgram", p.id, 1))
+		check(sys.AssertRole(p.role, p.id, p.val, p.p))
+	}
+	for _, r := range []string{
+		"RULE traffic WHEN Workday AND Morning PREFER TvProgram AND EXISTS hasSubject.{Traffic} WITH 0.8",
+		"RULE weather WHEN Workday AND Morning PREFER TvProgram AND EXISTS hasSubject.{Weather} WITH 0.6",
+		"RULE weekend WHEN Weekend PREFER TvProgram AND EXISTS hasGenre.{HUMAN-INTEREST} WITH 0.8",
+	} {
+		if _, err := sys.AddRule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Workday morning: Figure 1's world. Traffic bulletin must rank first.
+	check(sys.SetContext(NewContext("peter").Certain("Workday").Certain("Morning")))
+	results, err := sys.RankWith("peter", "TvProgram", RankOptions{Explain: true})
+	check(err)
+	if results[0].ID != "traffic_7am" {
+		t.Fatalf("workday morning top = %v", results[0])
+	}
+	// Figure 1's closing number: a program with neither feature scores
+	// (1−0.8)(1−0.6) = 0.08.
+	for _, r := range results {
+		if r.ID == "movie" && math.Abs(r.Score-0.08) > 1e-9 {
+			t.Fatalf("P(neither) = %g, want 0.08", r.Score)
+		}
+	}
+	if len(results[0].Explanation.Rules) != 3 {
+		t.Fatalf("explanation = %v", results[0].Explanation)
+	}
+
+	// Weekend: the ranking flips to human interest.
+	check(sys.SetContext(NewContext("peter").Certain("Weekend")))
+	results, err = sys.Rank("peter", "TvProgram")
+	check(err)
+	if results[0].ID != "oprah" {
+		t.Fatalf("weekend top = %v", results[0])
+	}
+
+	// SQL inspection of the §5 uniform tabular view.
+	n, err := sys.DB().QueryScalar("SELECT COUNT(*) FROM c_TvProgram")
+	check(err)
+	if n.I != 5 {
+		t.Fatalf("programs = %d", n.I)
+	}
+
+	// Snapshot, restore, and rank on the restored system.
+	var buf bytes.Buffer
+	check(sys.SaveSnapshot(&buf))
+	restored, err := RestoreSystem(&buf)
+	check(err)
+	check(restored.SetContext(NewContext("peter").Certain("Weekend")))
+	again, err := restored.Rank("peter", "TvProgram")
+	check(err)
+	if again[0].ID != "oprah" || math.Abs(again[0].Score-results[0].Score) > 1e-9 {
+		t.Fatalf("restored ranking differs: %v vs %v", again[0], results[0])
+	}
+}
+
+// TestSensorPipelineToRanking wires simulated sensors straight into a
+// ranking and checks that sensor uncertainty shows up as score mass.
+func TestSensorPipelineToRanking(t *testing.T) {
+	sys := NewSystem()
+	if err := sys.DeclareConcept("Doc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AssertConcept("Doc", "d1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AddRule("RULE k WHEN InKitchen PREFER Doc WITH 0.9"); err != nil {
+		t.Fatal(err)
+	}
+	rank := func(acc float64) float64 {
+		ctx, err := SenseContext("u", situation.LocationSensor{
+			Rooms: []string{"InKitchen", "InHall"}, TrueRoom: "InKitchen", Accuracy: acc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.SetContext(ctx); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Rank("u", "Doc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0].Score
+	}
+	// Expected: acc·σ + (1−acc)·1 — the rule only fires with the sensed
+	// kitchen probability.
+	if s := rank(1.0); math.Abs(s-0.9) > 1e-9 {
+		t.Fatalf("certain sensor: %g", s)
+	}
+	if s := rank(0.5); math.Abs(s-(0.5*0.9+0.5)) > 1e-9 {
+		t.Fatalf("noisy sensor: %g", s)
+	}
+}
+
+// TestConcurrentRanking checks that read-only ranking is safe to run from
+// several goroutines against one system.
+func TestConcurrentRanking(t *testing.T) {
+	sys := buildTVTouch(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := sys.Rank("peter", "TvProgram")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res[0].ID != "Channel5News" {
+				errs <- errUnexpected
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errUnexpected = errors.New("unexpected top result")

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/mapping"
+)
+
+// FactorizedRanker is the §6 "Performance" extension. It computes the same
+// expectation as NaiveRanker,
+//
+//	score(d) = E[ Π_i ((1−C_i) + C_i · (σ_i X_i + (1−σ_i)(1−X_i))) ],
+//
+// where C_i is the indicator "rule i's context applies" and X_i the
+// indicator "d carries rule i's preferred feature", but exploits the event
+// space's independence structure:
+//
+//  1. Rules whose context event is impossible are pruned (factor 1) —
+//     "prune the amount of applicable rules … in early stages".
+//  2. The remaining rules are partitioned into clusters such that rules in
+//     different clusters touch disjoint correlated blocks of basic events;
+//     the expectation factorizes across clusters.
+//  3. Within a cluster the joint state is enumerated exactly (2^(2m) for a
+//     cluster of m rules); a fully independent rule forms a singleton
+//     cluster whose factor costs O(1).
+//
+// With mutually independent rules — the common case, since sensor events
+// and data events are distinct — the cost is linear in the number of rules
+// while the scores are bit-identical to the reference semantics up to
+// floating-point association order.
+type FactorizedRanker struct {
+	loader *mapping.Loader
+}
+
+// NewFactorizedRanker builds the optimized ranker over the loader.
+func NewFactorizedRanker(l *mapping.Loader) *FactorizedRanker {
+	return &FactorizedRanker{loader: l}
+}
+
+// Name implements Ranker.
+func (r *FactorizedRanker) Name() string { return "factorized" }
+
+// maxClusterRules bounds exact within-cluster enumeration.
+const maxClusterRules = 16
+
+// Rank implements Ranker.
+func (r *FactorizedRanker) Rank(req Request) ([]Result, error) {
+	candidates, states, err := resolve(r.loader, req)
+	if err != nil {
+		return nil, err
+	}
+	space := r.loader.DB().Space()
+
+	// Prune rules that cannot apply in the current context.
+	active := make([]*ruleState, 0, len(states))
+	for _, st := range states {
+		p, err := space.Prob(st.ctxEv)
+		if err != nil {
+			return nil, err
+		}
+		if p > 0 {
+			active = append(active, st)
+		}
+	}
+
+	results := make([]Result, 0, len(candidates))
+	for _, id := range candidates {
+		clusters := clusterRules(space, active, id)
+		score := 1.0
+		for _, cl := range clusters {
+			f, err := clusterFactor(space, cl, id)
+			if err != nil {
+				return nil, err
+			}
+			score *= f
+		}
+		res := Result{ID: id, Score: score}
+		if req.Explain {
+			res.Explanation, err = explain(space, states, id)
+			if err != nil {
+				return nil, err
+			}
+		}
+		results = append(results, res)
+	}
+	return finalize(req, results), nil
+}
+
+// clusterRules partitions the active rules into groups of mutually
+// dependent rules using union-find over the Space's independence relation.
+func clusterRules(space *event.Space, states []*ruleState, id string) [][]*ruleState {
+	n := len(states)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	joint := make([]*event.Expr, n)
+	for i, st := range states {
+		joint[i] = event.And(st.ctxEv, st.docEvs[id])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			indep, err := space.Independent(joint[i], joint[j])
+			if err != nil || !indep {
+				union(i, j)
+			}
+		}
+	}
+	byRoot := make(map[int][]*ruleState)
+	var roots []int
+	for i, st := range states {
+		root := find(i)
+		if _, ok := byRoot[root]; !ok {
+			roots = append(roots, root)
+		}
+		byRoot[root] = append(byRoot[root], st)
+	}
+	out := make([][]*ruleState, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+// clusterFactor computes the cluster's expected factor product under the
+// paper's §3.3 semantics: the context-state distribution and the
+// document-state distribution are independent (P(g)·P(f)), each computed
+// exactly over the cluster's events — so cross-rule correlation among
+// context events and among document events is honoured, while a dependency
+// between a rule's context and a document's features is deliberately
+// marginalized out, exactly as in the paper's formula ("features of the
+// document as context features … is out of scope", §3.2).
+func clusterFactor(space *event.Space, cluster []*ruleState, id string) (float64, error) {
+	m := len(cluster)
+	if m == 1 {
+		// Singleton fast path: factor = (1−pC) + pC·(σ·pX + (1−σ)(1−pX)).
+		st := cluster[0]
+		pC, err := space.Prob(st.ctxEv)
+		if err != nil {
+			return 0, err
+		}
+		pX, err := space.Prob(st.docEvs[id])
+		if err != nil {
+			return 0, err
+		}
+		s := st.rule.Sigma
+		return (1 - pC) + pC*(s*pX+(1-s)*(1-pX)), nil
+	}
+	if m > maxClusterRules {
+		return 0, fmt.Errorf("core: correlation cluster of %d rules exceeds the exact-enumeration bound %d", m, maxClusterRules)
+	}
+	// Pre-compute the context-state and document-state distributions.
+	ctxProbs := make([]float64, 1<<m)
+	docProbs := make([]float64, 1<<m)
+	for mask := 0; mask < 1<<m; mask++ {
+		ctxConj := make([]*event.Expr, m)
+		docConj := make([]*event.Expr, m)
+		for i, st := range cluster {
+			if mask&(1<<i) != 0 {
+				ctxConj[i] = st.ctxEv
+				docConj[i] = st.docEvs[id]
+			} else {
+				ctxConj[i] = event.Not(st.ctxEv)
+				docConj[i] = event.Not(st.docEvs[id])
+			}
+		}
+		p, err := space.Prob(event.And(ctxConj...))
+		if err != nil {
+			return 0, err
+		}
+		ctxProbs[mask] = p
+		p, err = space.Prob(event.And(docConj...))
+		if err != nil {
+			return 0, err
+		}
+		docProbs[mask] = p
+	}
+	total := 0.0
+	for g := 0; g < 1<<m; g++ {
+		if ctxProbs[g] == 0 {
+			continue
+		}
+		inner := 0.0
+		for f := 0; f < 1<<m; f++ {
+			if docProbs[f] == 0 {
+				continue
+			}
+			prod := 1.0
+			for i, st := range cluster {
+				if g&(1<<i) == 0 {
+					continue
+				}
+				if f&(1<<i) != 0 {
+					prod *= st.rule.Sigma
+				} else {
+					prod *= 1 - st.rule.Sigma
+				}
+			}
+			inner += docProbs[f] * prod
+		}
+		total += ctxProbs[g] * inner
+	}
+	return total, nil
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/mapping"
+)
+
+// NaiveRanker evaluates the paper's §3.3 formula literally:
+//
+//	P(D=d|U=u_sit) = Σ_g P(G(u_sit)=g) · Σ_f P(F(d)=f) ·
+//	                 Π_(g,f)∈H { 1 | σ(g,f) | 1−σ(g,f) }
+//
+// The outer sums range over every combination of context-feature states and
+// document-feature states, so evaluation is Θ(4^k) in the number of rules k
+// — this ranker is the executable reference semantics, not a fast path.
+// State probabilities are computed exactly on the event space, so shared
+// lineage and exclusive sensor groups are honoured.
+type NaiveRanker struct {
+	loader *mapping.Loader
+}
+
+// NewNaiveRanker builds a reference ranker over the loader.
+func NewNaiveRanker(l *mapping.Loader) *NaiveRanker { return &NaiveRanker{loader: l} }
+
+// Name implements Ranker.
+func (r *NaiveRanker) Name() string { return "naive" }
+
+// Rank implements Ranker.
+func (r *NaiveRanker) Rank(req Request) ([]Result, error) {
+	candidates, states, err := resolve(r.loader, req)
+	if err != nil {
+		return nil, err
+	}
+	space := r.loader.DB().Space()
+	k := len(states)
+	if k > 20 {
+		return nil, fmt.Errorf("core: naive ranker limited to 20 rules (2^k state enumeration), got %d", k)
+	}
+
+	// Pre-compute the probability of every context-feature state g ⊆ rules.
+	ctxProbs := make([]float64, 1<<k)
+	for mask := 0; mask < 1<<k; mask++ {
+		conj := make([]*event.Expr, k)
+		for i, st := range states {
+			if mask&(1<<i) != 0 {
+				conj[i] = st.ctxEv
+			} else {
+				conj[i] = event.Not(st.ctxEv)
+			}
+		}
+		p, err := space.Prob(event.And(conj...))
+		if err != nil {
+			return nil, err
+		}
+		ctxProbs[mask] = p
+	}
+
+	results := make([]Result, 0, len(candidates))
+	for _, id := range candidates {
+		// Probability of every document-feature state f ⊆ rules for d.
+		docProbs := make([]float64, 1<<k)
+		for mask := 0; mask < 1<<k; mask++ {
+			conj := make([]*event.Expr, k)
+			for i, st := range states {
+				if mask&(1<<i) != 0 {
+					conj[i] = st.docEvs[id]
+				} else {
+					conj[i] = event.Not(st.docEvs[id])
+				}
+			}
+			p, err := space.Prob(event.And(conj...))
+			if err != nil {
+				return nil, err
+			}
+			docProbs[mask] = p
+		}
+
+		score := 0.0
+		for g := 0; g < 1<<k; g++ {
+			if ctxProbs[g] == 0 {
+				continue
+			}
+			inner := 0.0
+			for f := 0; f < 1<<k; f++ {
+				if docProbs[f] == 0 {
+					continue
+				}
+				prod := 1.0
+				for i, st := range states {
+					if g&(1<<i) == 0 {
+						continue // g ∉ g: factor 1
+					}
+					if f&(1<<i) != 0 {
+						prod *= st.rule.Sigma
+					} else {
+						prod *= 1 - st.rule.Sigma
+					}
+				}
+				inner += docProbs[f] * prod
+			}
+			score += ctxProbs[g] * inner
+		}
+
+		res := Result{ID: id, Score: score}
+		if req.Explain {
+			res.Explanation, err = explain(space, states, id)
+			if err != nil {
+				return nil, err
+			}
+		}
+		results = append(results, res)
+	}
+	return finalize(req, results), nil
+}

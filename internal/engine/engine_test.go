@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/storage"
+)
+
+func TestExecAndQueryScalar(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (x INT)")
+	db.MustExec("INSERT INTO t VALUES (1), (2), (3)")
+	v, err := db.QueryScalar("SELECT SUM(x) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I != 6 {
+		t.Fatalf("sum = %v", v)
+	}
+	if _, err := db.QueryScalar("SELECT x FROM t"); err == nil {
+		t.Fatal("multi-row scalar accepted")
+	}
+	if _, err := db.Query("CREATE TABLE u (y INT)"); err == nil {
+		t.Fatal("DDL accepted as query")
+	}
+}
+
+func TestInsertRowTypesAndEvents(t *testing.T) {
+	db := New()
+	db.Space().Declare("e", 0.25)
+	db.MustExec("CREATE TABLE c (id TEXT, n INT, f FLOAT, b BOOL, ev EVENT)")
+	if err := db.InsertRow("c", "x", 1, 2.5, true, event.Basic("e")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertRow("c", "y", nil, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertRow("c", "z", storage.Int(9), 0.0, false, event.True()); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.QueryScalar("SELECT PROB(ev) FROM c WHERE id = 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.F-0.25) > 1e-9 {
+		t.Fatalf("prob = %v", v)
+	}
+	if err := db.InsertRow("c", struct{}{}, 1, 1.0, true, nil); err == nil {
+		t.Fatal("unsupported type accepted")
+	}
+	if err := db.InsertRow("missing", 1); err == nil {
+		t.Fatal("insert into missing table accepted")
+	}
+}
+
+func TestViewAndTableIntrospection(t *testing.T) {
+	db := New()
+	db.MustExec("CREATE TABLE t (x INT)")
+	db.MustExec("CREATE VIEW v AS SELECT x FROM t")
+	if !db.HasTable("t") || db.HasTable("v") {
+		t.Fatal("HasTable wrong")
+	}
+	if !db.HasView("v") || db.HasView("t") {
+		t.Fatal("HasView wrong")
+	}
+	if names := db.ViewNames(); len(names) != 1 || names[0] != "v" {
+		t.Fatalf("ViewNames = %v", names)
+	}
+	if names := db.TableNames(); len(names) != 1 || names[0] != "t" {
+		t.Fatalf("TableNames = %v", names)
+	}
+}

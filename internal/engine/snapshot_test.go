@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func buildSnapshotSource(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	if err := db.Space().Declare("e1", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Space().DeclareExclusive([]string{"k", "o"}, []float64{0.5, 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("CREATE TABLE progs (id TEXT, year INT, rating FLOAT, live BOOL, ev EVENT)")
+	db.MustExec("CREATE INDEX ON progs (id)")
+	if err := db.InsertRow("progs", "a", 2007, 7.5, true, event.And(event.Basic("e1"), event.Basic("k"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertRow("progs", "b", nil, nil, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("CREATE VIEW recent AS SELECT id, PROB(ev) AS p FROM progs WHERE year >= 2007")
+	return db
+}
+
+func TestDumpRestoreRoundTrip(t *testing.T) {
+	src := buildSnapshotSource(t)
+	var buf bytes.Buffer
+	if err := src.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New()
+	if err := dst.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Table data and types survive.
+	res, err := dst.Query("SELECT id, year, rating, live FROM progs ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][1].I != 2007 || res.Rows[0][2].F != 7.5 || !res.Rows[0][3].B {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if !res.Rows[1][1].IsNull() {
+		t.Fatalf("NULL lost: %v", res.Rows[1])
+	}
+	// Events and the exclusive-group structure survive: P(e1 ∧ k) = 0.35.
+	v, err := dst.QueryScalar("SELECT PROB(ev) FROM progs WHERE id = 'a'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.F-0.35) > 1e-9 {
+		t.Fatalf("P = %v", v)
+	}
+	// Exclusivity: k ∧ o impossible in the restored space.
+	p, err := dst.Space().Prob(event.And(event.Basic("k"), event.Basic("o")))
+	if err != nil || p != 0 {
+		t.Fatalf("P(k∧o) = %g, %v", p, err)
+	}
+	// Views replay.
+	res, err = dst.Query("SELECT id, p FROM recent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || math.Abs(res.Rows[0][1].F-0.35) > 1e-9 {
+		t.Fatalf("view rows = %v", res.Rows)
+	}
+	// Indexes replay.
+	tab, _ := dst.Catalog().Get("progs")
+	if !tab.HasIndex("id") {
+		t.Fatal("index lost")
+	}
+}
+
+func TestRestoreRequiresEmptyDB(t *testing.T) {
+	src := buildSnapshotSource(t)
+	var buf bytes.Buffer
+	if err := src.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("restore into non-empty database accepted")
+	}
+}
+
+func TestRestoreRejectsBadInput(t *testing.T) {
+	db := New()
+	if err := db.Restore(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	db = New()
+	if err := db.Restore(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestDumpIsDeterministic(t *testing.T) {
+	a, b := buildSnapshotSource(t), buildSnapshotSource(t)
+	var ba, bb bytes.Buffer
+	if err := a.Dump(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Dump(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Fatal("dumps of identical databases differ")
+	}
+}

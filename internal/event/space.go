@@ -1,0 +1,328 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// basicInfo records the declaration of a basic event.
+type basicInfo struct {
+	prob  float64
+	group int // -1 when the event is independent of all others
+}
+
+// Space owns basic-event declarations and computes exact probabilities of
+// event expressions over them. All methods are safe for concurrent use.
+//
+// Independence model: basic events in different groups (or ungrouped) are
+// mutually independent; basic events within one exclusive group are mutually
+// exclusive (at most one is true).
+type Space struct {
+	mu     sync.RWMutex
+	basics map[string]basicInfo
+	groups [][]string // group id -> member names
+
+	cacheMu sync.Mutex
+	cache   map[string]float64
+}
+
+// NewSpace returns an empty event space.
+func NewSpace() *Space {
+	return &Space{
+		basics: make(map[string]basicInfo),
+		cache:  make(map[string]float64),
+	}
+}
+
+// Declare registers an independent basic event with probability p.
+// Redeclaring an existing name with a different probability is an error;
+// redeclaring with the same probability is a no-op (so loaders can be
+// idempotent).
+func (s *Space) Declare(name string, p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("event: probability %g of %q out of [0,1]", p, name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.basics[name]; ok {
+		if old.prob == p && old.group == -1 {
+			return nil
+		}
+		return fmt.Errorf("event: basic event %q already declared", name)
+	}
+	s.basics[name] = basicInfo{prob: p, group: -1}
+	s.invalidate()
+	return nil
+}
+
+// DeclareExclusive registers a group of mutually exclusive basic events. The
+// probabilities must sum to at most 1; the residual mass is the probability
+// that none of them is true.
+func (s *Space) DeclareExclusive(names []string, probs []float64) error {
+	if len(names) != len(probs) {
+		return fmt.Errorf("event: %d names but %d probabilities", len(names), len(probs))
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("event: empty exclusive group")
+	}
+	sum := 0.0
+	for i, p := range probs {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("event: probability %g of %q out of [0,1]", p, names[i])
+		}
+		sum += p
+	}
+	if sum > 1+1e-9 {
+		return fmt.Errorf("event: exclusive group probabilities sum to %g > 1", sum)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range names {
+		if _, ok := s.basics[n]; ok {
+			return fmt.Errorf("event: basic event %q already declared", n)
+		}
+	}
+	gid := len(s.groups)
+	members := make([]string, len(names))
+	copy(members, names)
+	s.groups = append(s.groups, members)
+	for i, n := range names {
+		s.basics[n] = basicInfo{prob: probs[i], group: gid}
+	}
+	s.invalidate()
+	return nil
+}
+
+// Declared reports whether name is a declared basic event.
+func (s *Space) Declared(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.basics[name]
+	return ok
+}
+
+// BasicProb returns the declared probability of a basic event.
+func (s *Space) BasicProb(name string) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	info, ok := s.basics[name]
+	if !ok {
+		return 0, fmt.Errorf("event: basic event %q not declared", name)
+	}
+	return info.prob, nil
+}
+
+// Decl describes one declared basic event for snapshotting: Group is -1
+// for independent events, otherwise the index of its exclusive group.
+type Decl struct {
+	Name  string
+	Prob  float64
+	Group int
+}
+
+// Decls returns every declaration, grouped events first (ordered by group,
+// then by their position in the group), then independent events sorted by
+// name — an order that Restore-style loops can replay directly.
+func (s *Space) Decls() []Decl {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Decl
+	for gid, members := range s.groups {
+		for _, n := range members {
+			out = append(out, Decl{Name: n, Prob: s.basics[n].prob, Group: gid})
+		}
+	}
+	var singles []Decl
+	for n, info := range s.basics {
+		if info.group == -1 {
+			singles = append(singles, Decl{Name: n, Prob: info.prob, Group: -1})
+		}
+	}
+	sort.Slice(singles, func(i, j int) bool { return singles[i].Name < singles[j].Name })
+	return append(out, singles...)
+}
+
+// Len returns the number of declared basic events.
+func (s *Space) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.basics)
+}
+
+func (s *Space) invalidate() {
+	s.cacheMu.Lock()
+	s.cache = make(map[string]float64)
+	s.cacheMu.Unlock()
+}
+
+// Prob computes the exact probability of e. It enumerates joint states of
+// the exclusive groups (and singleton events) that e mentions, so the cost is
+// exponential only in the number of *distinct correlated groups mentioned by
+// e*, never in the size of the space. Results are memoized per expression.
+func (s *Space) Prob(e *Expr) (float64, error) {
+	switch e.kind {
+	case KindTrue:
+		return 1, nil
+	case KindFalse:
+		return 0, nil
+	case KindBasic:
+		return s.BasicProb(e.name)
+	}
+	key := e.String()
+	s.cacheMu.Lock()
+	if p, ok := s.cache[key]; ok {
+		s.cacheMu.Unlock()
+		return p, nil
+	}
+	s.cacheMu.Unlock()
+
+	p, err := s.enumerate(e)
+	if err != nil {
+		return 0, err
+	}
+	s.cacheMu.Lock()
+	s.cache[key] = p
+	s.cacheMu.Unlock()
+	return p, nil
+}
+
+// MustProb is Prob but panics on error; for expressions whose basic events
+// are known to be declared (e.g. internal tests and benchmarks).
+func (s *Space) MustProb(e *Expr) float64 {
+	p, err := s.Prob(e)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// factor is one independent block of basic events mentioned by an
+// expression: either a singleton independent event or the mentioned members
+// of one exclusive group.
+type factor struct {
+	names []string
+	probs []float64
+	excl  bool
+}
+
+func (s *Space) factorsOf(e *Expr) ([]factor, error) {
+	names := e.Basics()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	byGroup := make(map[int]*factor)
+	var singles []factor
+	for _, n := range names {
+		info, ok := s.basics[n]
+		if !ok {
+			return nil, fmt.Errorf("event: basic event %q not declared", n)
+		}
+		if info.group == -1 {
+			singles = append(singles, factor{names: []string{n}, probs: []float64{info.prob}})
+			continue
+		}
+		f := byGroup[info.group]
+		if f == nil {
+			f = &factor{excl: true}
+			byGroup[info.group] = f
+		}
+		f.names = append(f.names, n)
+		f.probs = append(f.probs, info.prob)
+	}
+	out := singles
+	gids := make([]int, 0, len(byGroup))
+	for g := range byGroup {
+		gids = append(gids, g)
+	}
+	sort.Ints(gids)
+	for _, g := range gids {
+		out = append(out, *byGroup[g])
+	}
+	return out, nil
+}
+
+// enumerate sums the probability of every joint state of the mentioned
+// factors under which e evaluates to true.
+func (s *Space) enumerate(e *Expr) (float64, error) {
+	factors, err := s.factorsOf(e)
+	if err != nil {
+		return 0, err
+	}
+	assign := make(map[string]bool, 8)
+	var rec func(i int, acc float64) float64
+	rec = func(i int, acc float64) float64 {
+		if acc == 0 {
+			return 0
+		}
+		if i == len(factors) {
+			if e.evaluate(assign) {
+				return acc
+			}
+			return 0
+		}
+		f := factors[i]
+		total := 0.0
+		if f.excl {
+			// One mentioned member true, or none of the mentioned members
+			// true (residual includes unmentioned members and "nothing").
+			residual := 1.0
+			for j, n := range f.names {
+				residual -= f.probs[j]
+				for _, m := range f.names {
+					assign[m] = m == n
+				}
+				total += rec(i+1, acc*f.probs[j])
+			}
+			if residual < 0 {
+				residual = 0
+			}
+			for _, m := range f.names {
+				assign[m] = false
+			}
+			total += rec(i+1, acc*residual)
+		} else {
+			n := f.names[0]
+			assign[n] = true
+			total += rec(i+1, acc*f.probs[0])
+			assign[n] = false
+			total += rec(i+1, acc*(1-f.probs[0]))
+		}
+		return total
+	}
+	return rec(0, 1), nil
+}
+
+// Independent reports whether two expressions mention disjoint sets of
+// correlated blocks, i.e. whether P(a ∧ b) = P(a)·P(b) is guaranteed by the
+// independence structure of the space.
+func (s *Space) Independent(a, b *Expr) (bool, error) {
+	fa, err := s.factorsOf(a)
+	if err != nil {
+		return false, err
+	}
+	fb, err := s.factorsOf(b)
+	if err != nil {
+		return false, err
+	}
+	seen := make(map[string]bool)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	mark := func(fs []factor, record bool) bool {
+		for _, f := range fs {
+			for _, n := range f.names {
+				key := n
+				if info := s.basics[n]; info.group != -1 {
+					key = fmt.Sprintf("group:%d", info.group)
+				}
+				if record {
+					seen[key] = true
+				} else if seen[key] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	mark(fa, true)
+	return mark(fb, false), nil
+}

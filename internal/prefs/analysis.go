@@ -1,0 +1,123 @@
+package prefs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dl"
+)
+
+// FindingKind classifies a rule-set analysis finding.
+type FindingKind string
+
+// Analysis finding kinds.
+const (
+	// FindingDuplicate: two rules with equivalent context and preference
+	// and (numerically) equal σ — one is dead weight.
+	FindingDuplicate FindingKind = "duplicate"
+	// FindingConflict: equivalent context and preference but different σ —
+	// the semantics (a conditional probability of one population) cannot
+	// hold for both.
+	FindingConflict FindingKind = "conflict"
+	// FindingSubsumedContext: rule A's context is strictly subsumed by
+	// rule B's context while the preferences are equivalent — whenever A
+	// applies B does too, so A only refines σ in a sub-context; worth
+	// flagging because the σ semantics of the two rules overlap.
+	FindingSubsumedContext FindingKind = "subsumed-context"
+	// FindingUnsatisfiablePreference: the rule prefers a concept the TBox
+	// declares disjointness-empty (e.g. Traffic ⊓ Weather when declared
+	// disjoint) — it can never promote any tuple above 1−σ.
+	FindingUnsatisfiablePreference FindingKind = "unsatisfiable-preference"
+)
+
+// Finding is one analysis result, referencing rules by name.
+type Finding struct {
+	Kind  FindingKind
+	RuleA string
+	RuleB string // empty for single-rule findings
+	Note  string
+}
+
+// String renders the finding.
+func (f Finding) String() string {
+	if f.RuleB == "" {
+		return fmt.Sprintf("%s: %s — %s", f.Kind, f.RuleA, f.Note)
+	}
+	return fmt.Sprintf("%s: %s / %s — %s", f.Kind, f.RuleA, f.RuleB, f.Note)
+}
+
+// Analyze inspects the repository's rules against a terminology and
+// reports duplicates, σ conflicts, context subsumption overlaps and
+// disjointness-unsatisfiable preferences. The checks are sound with
+// respect to the TBox's structural reasoner: absence of findings does not
+// prove absence of overlap, matching the reasoner's documented
+// incompleteness.
+func (r *Repository) Analyze(tbox *dl.TBox) []Finding {
+	if tbox == nil {
+		tbox = dl.NewTBox()
+	}
+	rules := r.Rules()
+	var out []Finding
+	for i, a := range rules {
+		if f, bad := unsatisfiablePreference(tbox, a); bad {
+			out = append(out, f)
+		}
+		for _, b := range rules[i+1:] {
+			ctxAB := tbox.Subsumes(b.Context, a.Context)
+			ctxBA := tbox.Subsumes(a.Context, b.Context)
+			prefEq := tbox.Subsumes(a.Preference, b.Preference) && tbox.Subsumes(b.Preference, a.Preference)
+			if !prefEq {
+				continue
+			}
+			switch {
+			case ctxAB && ctxBA:
+				if math.Abs(a.Sigma-b.Sigma) < 1e-12 {
+					out = append(out, Finding{
+						Kind: FindingDuplicate, RuleA: a.Name, RuleB: b.Name,
+						Note: "equivalent context and preference with equal σ",
+					})
+				} else {
+					out = append(out, Finding{
+						Kind: FindingConflict, RuleA: a.Name, RuleB: b.Name,
+						Note: fmt.Sprintf("equivalent context and preference but σ %g vs %g", a.Sigma, b.Sigma),
+					})
+				}
+			case ctxAB:
+				out = append(out, Finding{
+					Kind: FindingSubsumedContext, RuleA: a.Name, RuleB: b.Name,
+					Note: fmt.Sprintf("whenever %s applies, %s applies too (same preference)", a.Name, b.Name),
+				})
+			case ctxBA:
+				out = append(out, Finding{
+					Kind: FindingSubsumedContext, RuleA: b.Name, RuleB: a.Name,
+					Note: fmt.Sprintf("whenever %s applies, %s applies too (same preference)", b.Name, a.Name),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// unsatisfiablePreference detects conjunctions of atoms the TBox declares
+// pairwise disjoint.
+func unsatisfiablePreference(tbox *dl.TBox, r Rule) (Finding, bool) {
+	conj := r.Preference.Conjuncts()
+	var atoms []string
+	for _, c := range conj {
+		if c.Op() == dl.OpAtom {
+			atoms = append(atoms, c.Name())
+		}
+	}
+	for i := 0; i < len(atoms); i++ {
+		for j := i + 1; j < len(atoms); j++ {
+			if tbox.Disjoint(atoms[i], atoms[j]) {
+				return Finding{
+					Kind:  FindingUnsatisfiablePreference,
+					RuleA: r.Name,
+					Note:  fmt.Sprintf("prefers %s ⊓ %s, declared disjoint", atoms[i], atoms[j]),
+				}, true
+			}
+		}
+	}
+	return Finding{}, false
+}

@@ -1,0 +1,112 @@
+package prefs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dl"
+)
+
+func analyzeRepo(t *testing.T, tbox *dl.TBox, rules ...string) []Finding {
+	t.Helper()
+	repo := NewRepository()
+	for _, r := range rules {
+		if _, err := repo.AddText(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return repo.Analyze(tbox)
+}
+
+func kinds(fs []Finding) map[FindingKind]int {
+	out := make(map[FindingKind]int)
+	for _, f := range fs {
+		out[f.Kind]++
+	}
+	return out
+}
+
+func TestAnalyzeDuplicate(t *testing.T) {
+	fs := analyzeRepo(t, nil,
+		"RULE A WHEN Weekend PREFER Movie WITH 0.8",
+		"RULE B WHEN Weekend PREFER Movie WITH 0.8",
+	)
+	if kinds(fs)[FindingDuplicate] != 1 {
+		t.Fatalf("findings = %v", fs)
+	}
+	if !strings.Contains(fs[0].String(), "A / B") {
+		t.Fatalf("string = %q", fs[0].String())
+	}
+}
+
+func TestAnalyzeConflict(t *testing.T) {
+	fs := analyzeRepo(t, nil,
+		"RULE A WHEN Weekend PREFER Movie WITH 0.8",
+		"RULE B WHEN Weekend PREFER Movie WITH 0.3",
+	)
+	if kinds(fs)[FindingConflict] != 1 {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestAnalyzeSubsumedContext(t *testing.T) {
+	// SundayMorning ⊑ Weekend via the TBox: the Sunday rule's context is
+	// inside the weekend rule's.
+	tbox := dl.NewTBox()
+	tbox.AddSub("SundayMorning", dl.Atom("Weekend"))
+	fs := analyzeRepo(t, tbox,
+		"RULE Wide WHEN Weekend PREFER Movie WITH 0.6",
+		"RULE Narrow WHEN SundayMorning PREFER Movie WITH 0.9",
+	)
+	k := kinds(fs)
+	if k[FindingSubsumedContext] != 1 || k[FindingConflict] != 0 {
+		t.Fatalf("findings = %v", fs)
+	}
+	if fs[0].RuleA != "Narrow" || fs[0].RuleB != "Wide" {
+		t.Fatalf("direction wrong: %v", fs[0])
+	}
+}
+
+func TestAnalyzeSubsumedContextViaAnd(t *testing.T) {
+	// Weekend ⊓ Morning ⊑ Weekend structurally, no TBox needed.
+	fs := analyzeRepo(t, nil,
+		"RULE Wide WHEN Weekend PREFER Movie WITH 0.6",
+		"RULE Narrow WHEN Weekend AND Morning PREFER Movie WITH 0.9",
+	)
+	if kinds(fs)[FindingSubsumedContext] != 1 {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestAnalyzeUnsatisfiablePreference(t *testing.T) {
+	tbox := dl.NewTBox()
+	tbox.AddDisjoint("Traffic", "Weather")
+	fs := analyzeRepo(t, tbox,
+		"RULE Bad WHEN Morning PREFER Traffic AND Weather WITH 0.5",
+	)
+	if kinds(fs)[FindingUnsatisfiablePreference] != 1 {
+		t.Fatalf("findings = %v", fs)
+	}
+	if !strings.Contains(fs[0].String(), "Bad") {
+		t.Fatalf("string = %q", fs[0])
+	}
+}
+
+func TestAnalyzeCleanRepoNoFindings(t *testing.T) {
+	fs := analyzeRepo(t, nil,
+		"RULE A WHEN Weekend PREFER Movie WITH 0.8",
+		"RULE B WHEN Breakfast PREFER News WITH 0.9",
+		"RULE C WHEN Weekend PREFER News WITH 0.5", // same ctx, different pref: fine
+	)
+	if len(fs) != 0 {
+		t.Fatalf("unexpected findings: %v", fs)
+	}
+}
+
+func TestAnalyzeNilTBox(t *testing.T) {
+	repo := NewRepository()
+	repo.AddText("RULE A WHEN Weekend PREFER Movie WITH 0.8")
+	if fs := repo.Analyze(nil); len(fs) != 0 {
+		t.Fatalf("findings = %v", fs)
+	}
+}

@@ -1,0 +1,192 @@
+// Package situated implements the closest related work the paper compares
+// against conceptually (§1.1): Holland & Kießling's *situated preferences*
+// (ER 2004), built on Kießling's preference constructors (VLDB 2002).
+// Preferences here are strict partial orders over tuples, not scores; a
+// situation is linked to a preference, and queries return the Best Matches
+// Only (BMO) set — the maxima of the order among the candidates.
+//
+// The paper argues its score-based model can express these preferences via
+// a score function; this package exists so benchmarks can compare the
+// qualitative BMO answer against the probabilistic ranking.
+package situated
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tuple is a candidate item described by attribute values.
+type Tuple struct {
+	ID    string
+	Attrs map[string]string
+}
+
+// Preference is a strict partial order: Better(a, b) means a is strictly
+// preferred to b.
+type Preference interface {
+	Better(a, b Tuple) bool
+	String() string
+}
+
+// Pos prefers tuples whose attribute takes one of the desired values
+// (Kießling's POS constructor).
+type Pos struct {
+	Attr   string
+	Values []string
+}
+
+// Better implements Preference.
+func (p Pos) Better(a, b Tuple) bool {
+	return p.matches(a) && !p.matches(b)
+}
+
+func (p Pos) matches(t Tuple) bool {
+	v, ok := t.Attrs[p.Attr]
+	if !ok {
+		return false
+	}
+	for _, want := range p.Values {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements Preference.
+func (p Pos) String() string { return fmt.Sprintf("POS(%s, %v)", p.Attr, p.Values) }
+
+// Neg dis-prefers tuples whose attribute takes one of the listed values
+// (Kießling's NEG constructor).
+type Neg struct {
+	Attr   string
+	Values []string
+}
+
+// Better implements Preference.
+func (n Neg) Better(a, b Tuple) bool {
+	bad := Pos{Attr: n.Attr, Values: n.Values}
+	return !bad.matches(a) && bad.matches(b)
+}
+
+// String implements Preference.
+func (n Neg) String() string { return fmt.Sprintf("NEG(%s, %v)", n.Attr, n.Values) }
+
+// Pareto combines two preferences with equal importance (Kießling's ⊗):
+// a is better than b iff it is at least as good in both and strictly better
+// in one. With strict partial orders "at least as good" is "better or
+// incomparable-equal"; we use the standard Pareto lift.
+type Pareto struct {
+	Left, Right Preference
+}
+
+// Better implements Preference.
+func (p Pareto) Better(a, b Tuple) bool {
+	lBetter := p.Left.Better(a, b)
+	lWorse := p.Left.Better(b, a)
+	rBetter := p.Right.Better(a, b)
+	rWorse := p.Right.Better(b, a)
+	return (lBetter && !rWorse) || (rBetter && !lWorse)
+}
+
+// String implements Preference.
+func (p Pareto) String() string { return fmt.Sprintf("(%s ⊗ %s)", p.Left, p.Right) }
+
+// Prioritized combines two preferences lexicographically (Kießling's &):
+// the left preference dominates; the right breaks ties.
+type Prioritized struct {
+	First, Then Preference
+}
+
+// Better implements Preference.
+func (p Prioritized) Better(a, b Tuple) bool {
+	if p.First.Better(a, b) {
+		return true
+	}
+	if p.First.Better(b, a) {
+		return false
+	}
+	return p.Then.Better(a, b)
+}
+
+// String implements Preference.
+func (p Prioritized) String() string { return fmt.Sprintf("(%s & %s)", p.First, p.Then) }
+
+// BMO returns the Best Matches Only set: tuples not dominated by any other
+// candidate, in ID order. This is the answer semantics of preference
+// queries in the Kießling framework.
+func BMO(tuples []Tuple, pref Preference) []Tuple {
+	var out []Tuple
+	for i, t := range tuples {
+		dominated := false
+		for j, other := range tuples {
+			if i != j && pref.Better(other, t) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Situation is a named predicate over context attributes (the ER-based
+// situation model of Holland & Kießling, reduced to its query-time
+// essence).
+type Situation struct {
+	Name  string
+	Holds func(ctx map[string]string) bool
+}
+
+// SituatedPreference links a situation to the preference that applies in
+// it.
+type SituatedPreference struct {
+	Situation  Situation
+	Preference Preference
+}
+
+// Repository is an ordered list of situated preferences.
+type Repository struct {
+	entries []SituatedPreference
+}
+
+// Add appends a situated preference.
+func (r *Repository) Add(sp SituatedPreference) { r.entries = append(r.entries, sp) }
+
+// Len returns the number of entries.
+func (r *Repository) Len() int { return len(r.entries) }
+
+// Active returns the preferences whose situations hold in the given
+// context, combined with Pareto composition (equal importance), or nil if
+// none applies.
+func (r *Repository) Active(ctx map[string]string) Preference {
+	var combined Preference
+	for _, sp := range r.entries {
+		if !sp.Situation.Holds(ctx) {
+			continue
+		}
+		if combined == nil {
+			combined = sp.Preference
+		} else {
+			combined = Pareto{Left: combined, Right: sp.Preference}
+		}
+	}
+	return combined
+}
+
+// Query evaluates the situated-preference query: BMO under the active
+// preference, or all tuples when no preference applies (the "empty
+// preference" returns everything, as in the BMO semantics).
+func (r *Repository) Query(ctx map[string]string, tuples []Tuple) []Tuple {
+	pref := r.Active(ctx)
+	if pref == nil {
+		out := make([]Tuple, len(tuples))
+		copy(out, tuples)
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		return out
+	}
+	return BMO(tuples, pref)
+}

@@ -1,0 +1,152 @@
+package situated
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tvTuples() []Tuple {
+	return []Tuple{
+		{ID: "oprah", Attrs: map[string]string{"genre": "human-interest"}},
+		{ID: "bbc", Attrs: map[string]string{"subject": "news"}},
+		{ID: "c5", Attrs: map[string]string{"genre": "human-interest", "subject": "news"}},
+		{ID: "mpfs", Attrs: map[string]string{"genre": "comedy"}},
+	}
+}
+
+func TestPos(t *testing.T) {
+	p := Pos{Attr: "genre", Values: []string{"human-interest"}}
+	ts := tvTuples()
+	if !p.Better(ts[0], ts[3]) {
+		t.Fatal("POS should prefer matching tuple")
+	}
+	if p.Better(ts[0], ts[2]) {
+		t.Fatal("two matching tuples are incomparable")
+	}
+	if p.Better(ts[3], ts[0]) {
+		t.Fatal("non-matching preferred")
+	}
+}
+
+func TestNeg(t *testing.T) {
+	n := Neg{Attr: "genre", Values: []string{"comedy"}}
+	ts := tvTuples()
+	if !n.Better(ts[0], ts[3]) {
+		t.Fatal("NEG should dis-prefer comedy")
+	}
+	if n.Better(ts[3], ts[0]) {
+		t.Fatal("NEG inverted")
+	}
+}
+
+func TestParetoAndPrioritized(t *testing.T) {
+	hi := Pos{Attr: "genre", Values: []string{"human-interest"}}
+	news := Pos{Attr: "subject", Values: []string{"news"}}
+	ts := tvTuples()
+	pareto := Pareto{Left: hi, Right: news}
+	// c5 matches both: dominates everything else.
+	if !pareto.Better(ts[2], ts[0]) || !pareto.Better(ts[2], ts[1]) || !pareto.Better(ts[2], ts[3]) {
+		t.Fatal("c5 should Pareto-dominate")
+	}
+	// oprah vs bbc: each better in one dimension → incomparable.
+	if pareto.Better(ts[0], ts[1]) || pareto.Better(ts[1], ts[0]) {
+		t.Fatal("oprah and bbc should be incomparable")
+	}
+	prio := Prioritized{First: news, Then: hi}
+	// bbc beats oprah under news-first priority.
+	if !prio.Better(ts[1], ts[0]) {
+		t.Fatal("prioritized news should put bbc over oprah")
+	}
+	// among news programs, hi breaks the tie: c5 over bbc.
+	if !prio.Better(ts[2], ts[1]) {
+		t.Fatal("tie break failed")
+	}
+}
+
+func TestBMO(t *testing.T) {
+	hi := Pos{Attr: "genre", Values: []string{"human-interest"}}
+	news := Pos{Attr: "subject", Values: []string{"news"}}
+	ts := tvTuples()
+	got := BMO(ts, Pareto{Left: hi, Right: news})
+	if len(got) != 1 || got[0].ID != "c5" {
+		t.Fatalf("BMO = %v", got)
+	}
+	// Under POS(genre) alone, both human-interest programs survive.
+	got = BMO(ts, hi)
+	if len(got) != 2 || got[0].ID != "c5" || got[1].ID != "oprah" {
+		t.Fatalf("BMO = %v", got)
+	}
+}
+
+func TestBMONeverEmptyOnNonEmptyInput(t *testing.T) {
+	// BMO of a strict partial order is never empty — the classic guarantee.
+	f := func(seed uint8) bool {
+		p := Pos{Attr: "genre", Values: []string{"x"}}
+		ts := tvTuples()
+		// rotate to vary input order
+		k := int(seed) % len(ts)
+		ts = append(ts[k:], ts[:k]...)
+		return len(BMO(ts, p)) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSituatedRepository(t *testing.T) {
+	repo := &Repository{}
+	repo.Add(SituatedPreference{
+		Situation: Situation{Name: "weekend", Holds: func(ctx map[string]string) bool {
+			return ctx["day"] == "saturday" || ctx["day"] == "sunday"
+		}},
+		Preference: Pos{Attr: "genre", Values: []string{"human-interest"}},
+	})
+	repo.Add(SituatedPreference{
+		Situation: Situation{Name: "breakfast", Holds: func(ctx map[string]string) bool {
+			return ctx["meal"] == "breakfast"
+		}},
+		Preference: Pos{Attr: "subject", Values: []string{"news"}},
+	})
+	if repo.Len() != 2 {
+		t.Fatalf("len = %d", repo.Len())
+	}
+	ts := tvTuples()
+	// Saturday breakfast: both preferences active (Pareto): c5 wins.
+	got := repo.Query(map[string]string{"day": "saturday", "meal": "breakfast"}, ts)
+	if len(got) != 1 || got[0].ID != "c5" {
+		t.Fatalf("query = %v", got)
+	}
+	// Weekday dinner: nothing applies → all tuples.
+	got = repo.Query(map[string]string{"day": "monday"}, ts)
+	if len(got) != 4 {
+		t.Fatalf("query = %v", got)
+	}
+	// Weekend only: human-interest BMO.
+	got = repo.Query(map[string]string{"day": "sunday"}, ts)
+	if len(got) != 2 {
+		t.Fatalf("query = %v", got)
+	}
+}
+
+func TestStrictPartialOrderProperties(t *testing.T) {
+	// Irreflexivity and asymmetry of every constructor on sample data.
+	ts := tvTuples()
+	prefs := []Preference{
+		Pos{Attr: "genre", Values: []string{"human-interest"}},
+		Neg{Attr: "genre", Values: []string{"comedy"}},
+		Pareto{Pos{Attr: "genre", Values: []string{"human-interest"}}, Pos{Attr: "subject", Values: []string{"news"}}},
+		Prioritized{Pos{Attr: "subject", Values: []string{"news"}}, Pos{Attr: "genre", Values: []string{"human-interest"}}},
+	}
+	for _, p := range prefs {
+		for _, a := range ts {
+			if p.Better(a, a) {
+				t.Fatalf("%s not irreflexive", p)
+			}
+			for _, b := range ts {
+				if p.Better(a, b) && p.Better(b, a) {
+					t.Fatalf("%s not asymmetric on %s,%s", p, a.ID, b.ID)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,342 @@
+// Package situation models the situated user (§2.3): the context of the
+// user at query time as a set of uncertain concept memberships acquired
+// from (simulated) sensors. Each sensed membership is tied to a fresh basic
+// event in the database's event space, so downstream probability
+// computations respect correlations — in particular mutually exclusive
+// readings such as "a person can only be at a single place at one moment"
+// (§4.1) become exclusive event groups.
+package situation
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/mapping"
+)
+
+// Measurement is one sensed context assertion: the individual is a member
+// of the context concept with the given probability. Measurements sharing a
+// non-empty Exclusive label are mutually exclusive alternatives (their
+// probabilities must sum to at most 1).
+type Measurement struct {
+	Concept    string
+	Individual string // empty means "the situated user"
+	Prob       float64
+	Exclusive  string
+	Source     string // sensor name, for traceability
+}
+
+// Context is the situation of one user at one instant.
+type Context struct {
+	User         string
+	Measurements []Measurement
+}
+
+// New returns an empty context for the given user individual.
+func New(user string) *Context { return &Context{User: user} }
+
+// Certain adds a certain membership of the user in the concept.
+func (c *Context) Certain(concept string) *Context {
+	return c.Add(concept, 1)
+}
+
+// Add adds an independent uncertain membership of the user in the concept.
+func (c *Context) Add(concept string, prob float64) *Context {
+	c.Measurements = append(c.Measurements, Measurement{Concept: concept, Prob: prob})
+	return c
+}
+
+// CertainFor adds a certain membership of another individual in the
+// concept — used when one context snapshot covers several users at once
+// (e.g. a group watching TV together, §6 "Modeling multiple users").
+func (c *Context) CertainFor(individual, concept string) *Context {
+	return c.AddFor(individual, concept, 1)
+}
+
+// AddFor adds an uncertain membership of another individual in the concept.
+func (c *Context) AddFor(individual, concept string, prob float64) *Context {
+	c.Measurements = append(c.Measurements, Measurement{
+		Concept: concept, Individual: individual, Prob: prob,
+	})
+	return c
+}
+
+// AddExclusive adds a group of mutually exclusive memberships (e.g. one
+// concept per room). The group label must be unique within the context.
+func (c *Context) AddExclusive(group string, concepts []string, probs []float64) *Context {
+	for i, concept := range concepts {
+		c.Measurements = append(c.Measurements, Measurement{
+			Concept:   concept,
+			Prob:      probs[i],
+			Exclusive: group,
+		})
+	}
+	return c
+}
+
+// ConceptNames returns the distinct context concepts mentioned, in first-
+// appearance order.
+func (c *Context) ConceptNames() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, m := range c.Measurements {
+		if !seen[m.Concept] {
+			seen[m.Concept] = true
+			out = append(out, m.Concept)
+		}
+	}
+	return out
+}
+
+// epoch provides fresh basic-event names across repeated Apply calls.
+var epoch atomic.Int64
+
+// appliedConcepts remembers, per loader, which context concepts the last
+// Apply asserted, so the next Apply can retract assertions the new context
+// no longer makes.
+var appliedConcepts sync.Map // *mapping.Loader -> []string
+
+// Apply pushes the context into the loader: it declares the context
+// concepts, clears both their previous assertions and those of concepts the
+// previous context asserted (dynamic context is acquired anew at each
+// query, §5), declares fresh basic events carrying the measurement
+// probabilities, and asserts the memberships.
+func (c *Context) Apply(l *mapping.Loader) error {
+	e := epoch.Add(1)
+	space := l.DB().Space()
+	toClear := make(map[string]bool)
+	if prev, ok := appliedConcepts.Load(l); ok {
+		for _, name := range prev.([]string) {
+			toClear[name] = true
+		}
+	}
+	for _, name := range c.ConceptNames() {
+		toClear[name] = true
+	}
+	for name := range toClear {
+		if err := l.DeclareConcept(name); err != nil {
+			return err
+		}
+		if err := l.ClearConcept(name); err != nil {
+			return err
+		}
+	}
+	appliedConcepts.Store(l, c.ConceptNames())
+	// Group measurements by exclusivity label.
+	groups := make(map[string][]int)
+	var order []string
+	for i, m := range c.Measurements {
+		if m.Prob < 0 || m.Prob > 1 {
+			return fmt.Errorf("situation: measurement %s has probability %g", m.Concept, m.Prob)
+		}
+		groups[m.Exclusive] = append(groups[m.Exclusive], i)
+		if len(groups[m.Exclusive]) == 1 && m.Exclusive != "" {
+			order = append(order, m.Exclusive)
+		}
+	}
+	assert := func(i int, ev *event.Expr) error {
+		m := c.Measurements[i]
+		ind := m.Individual
+		if ind == "" {
+			ind = c.User
+		}
+		return l.AssertConcept(m.Concept, ind, ev)
+	}
+	// Independent measurements.
+	for _, i := range groups[""] {
+		m := c.Measurements[i]
+		name := fmt.Sprintf("ctx_%d_%d_%s", e, i, m.Concept)
+		if m.Prob == 1 {
+			if err := assert(i, event.True()); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := space.Declare(name, m.Prob); err != nil {
+			return err
+		}
+		if err := assert(i, event.Basic(name)); err != nil {
+			return err
+		}
+	}
+	// Exclusive groups.
+	for _, g := range order {
+		idxs := groups[g]
+		names := make([]string, len(idxs))
+		probs := make([]float64, len(idxs))
+		for j, i := range idxs {
+			names[j] = fmt.Sprintf("ctx_%d_%d_%s", e, i, c.Measurements[i].Concept)
+			probs[j] = c.Measurements[i].Prob
+		}
+		if err := space.DeclareExclusive(names, probs); err != nil {
+			return fmt.Errorf("situation: group %q: %w", g, err)
+		}
+		for j, i := range idxs {
+			if err := assert(i, event.Basic(names[j])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Sensor contributes measurements to a context. Sensors are simulated: they
+// observe a hidden ground truth and emit a noisy probability distribution,
+// which is exactly the uncertainty shape the paper attributes to sensed
+// context (§1, §3.3).
+type Sensor interface {
+	Name() string
+	Sense(c *Context) error
+}
+
+// ClockSensor derives calendar context concepts from a wall-clock time. A
+// clock is certain, so all memberships have probability 1: Weekend or
+// Workday, plus Morning/Afternoon/Evening/Night, plus Breakfast during the
+// morning meal window.
+type ClockSensor struct {
+	Now time.Time
+}
+
+// Name implements Sensor.
+func (ClockSensor) Name() string { return "clock" }
+
+// Sense implements Sensor.
+func (s ClockSensor) Sense(c *Context) error {
+	wd := s.Now.Weekday()
+	if wd == time.Saturday || wd == time.Sunday {
+		c.Certain("Weekend")
+	} else {
+		c.Certain("Workday")
+	}
+	h := s.Now.Hour()
+	switch {
+	case h >= 6 && h < 12:
+		c.Certain("Morning")
+	case h >= 12 && h < 18:
+		c.Certain("Afternoon")
+	case h >= 18 && h < 23:
+		c.Certain("Evening")
+	default:
+		c.Certain("Night")
+	}
+	if h >= 7 && h < 10 {
+		c.Certain("Breakfast")
+	}
+	return nil
+}
+
+// LocationSensor simulates a room-level positioning system: it knows the
+// true room and an accuracy, and spreads the remaining mass uniformly over
+// the other rooms. All room memberships form one exclusive group.
+type LocationSensor struct {
+	Rooms    []string // concept names, e.g. "InKitchen"
+	TrueRoom string
+	Accuracy float64 // probability mass assigned to the true room
+	Rng      *rand.Rand
+}
+
+// Name implements Sensor.
+func (LocationSensor) Name() string { return "location" }
+
+// Sense implements Sensor.
+func (s LocationSensor) Sense(c *Context) error {
+	if len(s.Rooms) == 0 {
+		return fmt.Errorf("situation: location sensor has no rooms")
+	}
+	if s.Accuracy < 0 || s.Accuracy > 1 {
+		return fmt.Errorf("situation: accuracy %g out of [0,1]", s.Accuracy)
+	}
+	trueIdx := -1
+	for i, r := range s.Rooms {
+		if r == s.TrueRoom {
+			trueIdx = i
+		}
+	}
+	if trueIdx < 0 {
+		return fmt.Errorf("situation: true room %q not among rooms", s.TrueRoom)
+	}
+	probs := make([]float64, len(s.Rooms))
+	rest := (1 - s.Accuracy) / float64(max(len(s.Rooms)-1, 1))
+	for i := range probs {
+		if i == trueIdx {
+			probs[i] = s.Accuracy
+		} else {
+			probs[i] = rest
+		}
+	}
+	// Optional sensor jitter: redistribute a little mass randomly while
+	// keeping a valid distribution.
+	if s.Rng != nil && len(s.Rooms) > 1 {
+		j := s.Rng.Intn(len(s.Rooms))
+		delta := probs[trueIdx] * 0.05
+		if j != trueIdx {
+			probs[trueIdx] -= delta
+			probs[j] += delta
+		}
+	}
+	c.AddExclusive("location", s.Rooms, probs)
+	return nil
+}
+
+// ActivitySensor simulates activity recognition with a softmax-like
+// distribution peaked at the true activity.
+type ActivitySensor struct {
+	Activities   []string
+	TrueActivity string
+	Confidence   float64
+}
+
+// Name implements Sensor.
+func (ActivitySensor) Name() string { return "activity" }
+
+// Sense implements Sensor.
+func (s ActivitySensor) Sense(c *Context) error {
+	if len(s.Activities) == 0 {
+		return fmt.Errorf("situation: activity sensor has no activities")
+	}
+	trueIdx := -1
+	for i, a := range s.Activities {
+		if a == s.TrueActivity {
+			trueIdx = i
+		}
+	}
+	if trueIdx < 0 {
+		return fmt.Errorf("situation: true activity %q not among activities", s.TrueActivity)
+	}
+	if s.Confidence < 0 || s.Confidence > 1 {
+		return fmt.Errorf("situation: confidence %g out of [0,1]", s.Confidence)
+	}
+	probs := make([]float64, len(s.Activities))
+	rest := (1 - s.Confidence) / float64(max(len(s.Activities)-1, 1))
+	for i := range probs {
+		if i == trueIdx {
+			probs[i] = s.Confidence
+		} else {
+			probs[i] = rest
+		}
+	}
+	c.AddExclusive("activity", s.Activities, probs)
+	return nil
+}
+
+// SenseAll builds a context for the user by running every sensor.
+func SenseAll(user string, sensors ...Sensor) (*Context, error) {
+	c := New(user)
+	for _, s := range sensors {
+		if err := s.Sense(c); err != nil {
+			return nil, fmt.Errorf("situation: sensor %s: %w", s.Name(), err)
+		}
+	}
+	return c, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,300 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// Format renders a parsed statement back to SQL text such that
+// Parse(Format(stmt)) is structurally equivalent to stmt. It is used to
+// persist views in database snapshots and for lineage display.
+func Format(stmt Statement) string {
+	var b strings.Builder
+	formatStmt(&b, stmt)
+	return b.String()
+}
+
+func formatStmt(b *strings.Builder, stmt Statement) {
+	switch s := stmt.(type) {
+	case *CreateTableStmt:
+		b.WriteString("CREATE TABLE ")
+		if s.IfNotExists {
+			b.WriteString("IF NOT EXISTS ")
+		}
+		b.WriteString(s.Name)
+		b.WriteString(" (")
+		for i, c := range s.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.Name + " " + c.Type.String())
+		}
+		b.WriteString(")")
+	case *DropTableStmt:
+		b.WriteString("DROP TABLE ")
+		if s.IfExists {
+			b.WriteString("IF EXISTS ")
+		}
+		b.WriteString(s.Name)
+	case *CreateViewStmt:
+		b.WriteString("CREATE ")
+		if s.OrReplace {
+			b.WriteString("OR REPLACE ")
+		}
+		b.WriteString("VIEW " + s.Name + " AS ")
+		formatSelect(b, s.Query)
+	case *DropViewStmt:
+		b.WriteString("DROP VIEW ")
+		if s.IfExists {
+			b.WriteString("IF EXISTS ")
+		}
+		b.WriteString(s.Name)
+	case *CreateIndexStmt:
+		fmt.Fprintf(b, "CREATE INDEX ON %s (%s)", s.Table, s.Column)
+	case *InsertStmt:
+		b.WriteString("INSERT INTO " + s.Table)
+		if len(s.Columns) > 0 {
+			b.WriteString(" (" + strings.Join(s.Columns, ", ") + ")")
+		}
+		b.WriteString(" VALUES ")
+		for i, row := range s.Rows {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("(")
+			for j, e := range row {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				formatExpr(b, e)
+			}
+			b.WriteString(")")
+		}
+	case *DeleteStmt:
+		b.WriteString("DELETE FROM " + s.Table)
+		if s.Where != nil {
+			b.WriteString(" WHERE ")
+			formatExpr(b, s.Where)
+		}
+	case *UpdateStmt:
+		b.WriteString("UPDATE " + s.Table + " SET ")
+		for i, a := range s.Set {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.Column + " = ")
+			formatExpr(b, a.Value)
+		}
+		if s.Where != nil {
+			b.WriteString(" WHERE ")
+			formatExpr(b, s.Where)
+		}
+	case *SelectStmt:
+		formatSelect(b, s)
+	default:
+		fmt.Fprintf(b, "/* unprintable %T */", stmt)
+	}
+}
+
+func formatSelect(b *strings.Builder, s *SelectStmt) {
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.Table != "":
+			b.WriteString(it.Table + ".*")
+		case it.Star:
+			b.WriteString("*")
+		default:
+			formatExpr(b, it.Expr)
+			if it.Alias != "" {
+				b.WriteString(" AS " + it.Alias)
+			}
+		}
+	}
+	if len(s.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, ref := range s.From {
+			if i > 0 {
+				switch ref.Join {
+				case JoinCross:
+					b.WriteString(", ")
+				case JoinInner:
+					b.WriteString(" JOIN ")
+				case JoinLeft:
+					b.WriteString(" LEFT JOIN ")
+				}
+			}
+			if ref.Subquery != nil {
+				b.WriteString("(")
+				formatSelect(b, ref.Subquery)
+				b.WriteString(")")
+			} else {
+				b.WriteString(ref.Table)
+			}
+			if ref.Alias != "" {
+				b.WriteString(" AS " + ref.Alias)
+			}
+			if i > 0 && ref.On != nil {
+				b.WriteString(" ON ")
+				formatExpr(b, ref.On)
+			}
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		formatExpr(b, s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, e)
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		formatExpr(b, s.Having)
+	}
+	if s.Union != nil {
+		b.WriteString(" UNION ALL ")
+		formatSelect(b, s.Union)
+		return // ORDER BY/LIMIT belong to the last branch in this subset
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, o.Expr)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(b, " LIMIT %d", s.Limit)
+	}
+}
+
+func formatExpr(b *strings.Builder, e Expr) {
+	switch e := e.(type) {
+	case *Literal:
+		formatValue(b, e.Val)
+	case *ColumnRef:
+		if e.Table != "" {
+			b.WriteString(e.Table + ".")
+		}
+		b.WriteString(e.Column)
+	case *Unary:
+		if e.Op == "NOT" {
+			b.WriteString("NOT ")
+		} else {
+			b.WriteString(e.Op)
+		}
+		b.WriteString("(")
+		formatExpr(b, e.X)
+		b.WriteString(")")
+	case *Binary:
+		b.WriteString("(")
+		formatExpr(b, e.L)
+		b.WriteString(" " + e.Op + " ")
+		formatExpr(b, e.R)
+		b.WriteString(")")
+	case *FuncCall:
+		b.WriteString(e.Name + "(")
+		if e.Star {
+			b.WriteString("*")
+		}
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, a)
+		}
+		b.WriteString(")")
+	case *InList:
+		b.WriteString("(")
+		formatExpr(b, e.X)
+		if e.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		for i, v := range e.Set {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, v)
+		}
+		b.WriteString("))")
+	case *IsNull:
+		b.WriteString("(")
+		formatExpr(b, e.X)
+		b.WriteString(" IS ")
+		if e.Not {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("NULL)")
+	case *Like:
+		b.WriteString("(")
+		formatExpr(b, e.X)
+		if e.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" LIKE ")
+		formatExpr(b, e.Pattern)
+		b.WriteString(")")
+	case *CaseExpr:
+		b.WriteString("CASE")
+		for _, w := range e.Whens {
+			b.WriteString(" WHEN ")
+			formatExpr(b, w.Cond)
+			b.WriteString(" THEN ")
+			formatExpr(b, w.Then)
+		}
+		if e.Else != nil {
+			b.WriteString(" ELSE ")
+			formatExpr(b, e.Else)
+		}
+		b.WriteString(" END")
+	default:
+		fmt.Fprintf(b, "/* unprintable %T */", e)
+	}
+}
+
+func formatValue(b *strings.Builder, v storage.Value) {
+	switch v.T {
+	case storage.TypeNull:
+		b.WriteString("NULL")
+	case storage.TypeInt:
+		b.WriteString(strconv.FormatInt(v.I, 10))
+	case storage.TypeFloat:
+		s := strconv.FormatFloat(v.F, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0" // keep the literal a FLOAT on reparse
+		}
+		b.WriteString(s)
+	case storage.TypeText:
+		b.WriteString("'" + strings.ReplaceAll(v.S, "'", "''") + "'")
+	case storage.TypeBool:
+		if v.B {
+			b.WriteString("TRUE")
+		} else {
+			b.WriteString("FALSE")
+		}
+	case storage.TypeEvent:
+		// Event literals have no SQL literal syntax; lineage-only.
+		fmt.Fprintf(b, "/* EVENT %s */ NULL", v.Ev)
+	}
+}

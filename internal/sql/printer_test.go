@@ -1,0 +1,108 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// roundTripStatements parse, format, reparse and compare formatted forms —
+// a fixed point check that covers the printer against the parser.
+var roundTripStatements = []string{
+	"SELECT 1",
+	"SELECT DISTINCT a, b AS bee FROM t WHERE (a > 1) ORDER BY b DESC LIMIT 3",
+	"SELECT * FROM t",
+	"SELECT t.* FROM t AS x",
+	"SELECT a FROM t, u",
+	"SELECT a FROM t AS x JOIN u AS y ON (x.id = y.id) LEFT JOIN v AS z ON (y.id = z.id)",
+	"SELECT a FROM (SELECT b FROM u) AS s",
+	"SELECT COUNT(*) FROM t GROUP BY a HAVING (COUNT(*) > 2)",
+	"SELECT a FROM t UNION ALL SELECT b FROM u",
+	"SELECT CASE WHEN (a = 1) THEN 'one' ELSE 'many' END FROM t",
+	"SELECT (a IN (1, 2, 3)), (b NOT IN ('x')), (c IS NULL), (d IS NOT NULL) FROM t",
+	"SELECT PROB(EV_AND(ev, EV_NOT(ev2))) FROM t",
+	"SELECT -(a), NOT (b), ((a + 1) * 2) FROM t",
+	"SELECT 'it''s', 1.5, TRUE, FALSE, NULL",
+	"CREATE TABLE t (a INT, b TEXT, c EVENT)",
+	"CREATE TABLE IF NOT EXISTS t (a INT)",
+	"DROP TABLE IF EXISTS t",
+	"DROP VIEW v",
+	"CREATE INDEX ON t (a)",
+	"CREATE OR REPLACE VIEW v AS SELECT a FROM t WHERE (a > 0)",
+	"INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')",
+	"DELETE FROM t WHERE (a = 1)",
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	for _, src := range roundTripStatements {
+		stmt, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		text := Format(stmt)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("reparse of %q (formatted %q): %v", src, text, err)
+		}
+		if again := Format(back); again != text {
+			t.Fatalf("not a fixed point:\n first %q\nsecond %q", text, again)
+		}
+	}
+}
+
+func TestFormatPreservesSemantics(t *testing.T) {
+	// Execute the original and the formatted text; results must agree.
+	ex, _ := newTestExec(t)
+	mustExec(t, ex,
+		"CREATE TABLE t (a INT, b TEXT)",
+		"INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x')",
+	)
+	queries := []string{
+		"SELECT b, COUNT(*) AS n FROM t GROUP BY b HAVING COUNT(*) > 1 ORDER BY n DESC",
+		"SELECT a FROM t WHERE b = 'x' OR a > 2 ORDER BY a",
+		"SELECT CASE WHEN a % 2 = 0 THEN 'even' ELSE 'odd' END AS par FROM t ORDER BY a",
+	}
+	for _, q := range queries {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, err := ex.ExecStmt(stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := ex.Exec(Format(stmt))
+		if err != nil {
+			t.Fatalf("formatted %q: %v", Format(stmt), err)
+		}
+		if len(orig.Rows) != len(re.Rows) {
+			t.Fatalf("row count differs for %q", q)
+		}
+		for i := range orig.Rows {
+			for j := range orig.Rows[i] {
+				if !storage.Equal(orig.Rows[i][j], re.Rows[i][j]) {
+					t.Fatalf("value differs for %q at %d,%d", q, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestViewDefinition(t *testing.T) {
+	ex, _ := newTestExec(t)
+	mustExec(t, ex,
+		"CREATE TABLE t (a INT)",
+		"CREATE VIEW v AS SELECT a FROM t WHERE a > 0",
+	)
+	sel, ok := ex.ViewDefinition("V")
+	if !ok || sel == nil {
+		t.Fatal("view definition missing")
+	}
+	if !strings.Contains(Format(sel), "WHERE") {
+		t.Fatalf("formatted view = %q", Format(sel))
+	}
+	if _, ok := ex.ViewDefinition("nope"); ok {
+		t.Fatal("missing view reported")
+	}
+}

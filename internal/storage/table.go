@@ -1,0 +1,343 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema, rejecting duplicate or empty column names.
+func NewSchema(cols ...Column) (Schema, error) {
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		if c.Name == "" {
+			return Schema{}, fmt.Errorf("storage: empty column name")
+		}
+		lower := strings.ToLower(c.Name)
+		if seen[lower] {
+			return Schema{}, fmt.Errorf("storage: duplicate column %q", c.Name)
+		}
+		seen[lower] = true
+	}
+	return Schema{Columns: cols}, nil
+}
+
+// ColumnIndex returns the position of the named column (case-insensitive)
+// or -1.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Arity returns the number of columns.
+func (s Schema) Arity() int { return len(s.Columns) }
+
+// Row is one tuple; len(Row) always equals the table arity.
+type Row []Value
+
+// Clone returns a copy of the row (values are immutable, so a shallow copy
+// suffices).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Table is an in-memory heap of rows with optional hash indexes. All methods
+// are safe for concurrent use.
+type Table struct {
+	name   string
+	schema Schema
+
+	mu      sync.RWMutex
+	rows    []Row
+	indexes map[int]map[string][]int // column -> value key -> row ids
+	deleted map[int]bool
+	nLive   int
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema Schema) *Table {
+	return &Table{
+		name:    name,
+		schema:  schema,
+		indexes: make(map[int]map[string][]int),
+		deleted: make(map[int]bool),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Len returns the number of live rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.nLive
+}
+
+// Insert appends a row after coercing each value to its column type.
+func (t *Table) Insert(r Row) error {
+	if len(r) != t.schema.Arity() {
+		return fmt.Errorf("storage: table %s expects %d values, got %d", t.name, t.schema.Arity(), len(r))
+	}
+	coerced := make(Row, len(r))
+	for i, v := range r {
+		cv, err := v.CoerceTo(t.schema.Columns[i].Type)
+		if err != nil {
+			return fmt.Errorf("storage: table %s column %s: %w", t.name, t.schema.Columns[i].Name, err)
+		}
+		coerced[i] = cv
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := len(t.rows)
+	t.rows = append(t.rows, coerced)
+	t.nLive++
+	for col, idx := range t.indexes {
+		key := coerced[col].Key()
+		idx[key] = append(idx[key], id)
+	}
+	return nil
+}
+
+// CreateIndex builds a hash index on the named column; idempotent.
+func (t *Table) CreateIndex(column string) error {
+	col := t.schema.ColumnIndex(column)
+	if col < 0 {
+		return fmt.Errorf("storage: table %s has no column %q", t.name, column)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.indexes[col]; ok {
+		return nil
+	}
+	idx := make(map[string][]int)
+	for id, r := range t.rows {
+		if t.deleted[id] {
+			continue
+		}
+		key := r[col].Key()
+		idx[key] = append(idx[key], id)
+	}
+	t.indexes[col] = idx
+	return nil
+}
+
+// HasIndex reports whether the named column has a hash index.
+func (t *Table) HasIndex(column string) bool {
+	col := t.schema.ColumnIndex(column)
+	if col < 0 {
+		return false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.indexes[col]
+	return ok
+}
+
+// Scan calls fn for every live row. The row passed to fn must not be
+// retained or modified; clone it if needed. Scan takes a snapshot reference
+// under the read lock, so concurrent inserts during a scan are not observed.
+func (t *Table) Scan(fn func(Row) error) error {
+	t.mu.RLock()
+	rows := t.rows
+	deleted := t.deleted
+	n := len(rows)
+	t.mu.RUnlock()
+	for id := 0; id < n; id++ {
+		if deleted[id] {
+			continue
+		}
+		if err := fn(rows[id]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lookup returns the live rows whose column equals v, using the hash index
+// if present and a scan otherwise. Returned rows are clones.
+func (t *Table) Lookup(column string, v Value) ([]Row, error) {
+	col := t.schema.ColumnIndex(column)
+	if col < 0 {
+		return nil, fmt.Errorf("storage: table %s has no column %q", t.name, column)
+	}
+	t.mu.RLock()
+	idx, ok := t.indexes[col]
+	if ok {
+		ids := idx[v.Key()]
+		out := make([]Row, 0, len(ids))
+		for _, id := range ids {
+			if !t.deleted[id] {
+				out = append(out, t.rows[id].Clone())
+			}
+		}
+		t.mu.RUnlock()
+		return out, nil
+	}
+	t.mu.RUnlock()
+	var out []Row
+	err := t.Scan(func(r Row) error {
+		if Equal(r[col], v) {
+			out = append(out, r.Clone())
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Update rewrites every live row for which match returns true by calling
+// apply on a clone; the returned row is coerced to the schema. It reports
+// how many rows changed.
+func (t *Table) Update(match func(Row) bool, apply func(Row) (Row, error)) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for id, r := range t.rows {
+		if t.deleted[id] || !match(r) {
+			continue
+		}
+		updated, err := apply(r.Clone())
+		if err != nil {
+			return n, err
+		}
+		if len(updated) != t.schema.Arity() {
+			return n, fmt.Errorf("storage: update of table %s produced %d values, want %d", t.name, len(updated), t.schema.Arity())
+		}
+		coerced := make(Row, len(updated))
+		for i, v := range updated {
+			cv, err := v.CoerceTo(t.schema.Columns[i].Type)
+			if err != nil {
+				return n, fmt.Errorf("storage: table %s column %s: %w", t.name, t.schema.Columns[i].Name, err)
+			}
+			coerced[i] = cv
+		}
+		t.rows[id] = coerced
+		n++
+	}
+	if n > 0 {
+		t.rebuildIndexesLocked()
+	}
+	return n, nil
+}
+
+// Delete removes every live row for which match returns true and reports
+// how many were removed.
+func (t *Table) Delete(match func(Row) bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for id, r := range t.rows {
+		if t.deleted[id] || !match(r) {
+			continue
+		}
+		t.deleted[id] = true
+		t.nLive--
+		n++
+	}
+	if n > 0 {
+		t.rebuildIndexesLocked()
+	}
+	return n
+}
+
+func (t *Table) rebuildIndexesLocked() {
+	for col := range t.indexes {
+		idx := make(map[string][]int)
+		for id, r := range t.rows {
+			if t.deleted[id] {
+				continue
+			}
+			key := r[col].Key()
+			idx[key] = append(idx[key], id)
+		}
+		t.indexes[col] = idx
+	}
+}
+
+// Catalog maps table names (case-insensitive) to tables.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Create registers a new empty table.
+func (c *Catalog) Create(name string, schema Schema) (*Table, error) {
+	key := strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[key]; ok {
+		return nil, fmt.Errorf("storage: table %q already exists", name)
+	}
+	t := NewTable(name, schema)
+	c.tables[key] = t
+	return t, nil
+}
+
+// Get returns the named table or an error.
+func (c *Catalog) Get(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: no table %q", name)
+	}
+	return t, nil
+}
+
+// Exists reports whether the named table exists.
+func (c *Catalog) Exists(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[strings.ToLower(name)]
+	return ok
+}
+
+// Drop removes the named table.
+func (c *Catalog) Drop(name string) error {
+	key := strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("storage: no table %q", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// Names returns the sorted table names.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.name)
+	}
+	sort.Strings(out)
+	return out
+}
