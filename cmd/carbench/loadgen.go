@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	contextrank "repro"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// loadgenConfig parametrizes the serve-layer load generator.
+type loadgenConfig struct {
+	Spec        workload.Spec
+	Rules       int           // preference rules registered up front
+	Clients     int           // concurrent goroutine clients
+	Duration    time.Duration // wall-clock run length
+	Churn       int           // every Churn ranks a client rotates its session context (0 = never)
+	AssertEvery time.Duration // background fact-assertion interval, bumps the epoch (0 = off)
+	CacheSize   int
+}
+
+// runServeLoadgen stands up the full serving stack — System + facade +
+// sessions + cache + HTTP — on a loopback listener and drives it with N
+// goroutine clients ranking the TV-watcher dataset over real HTTP. It
+// reports sustained throughput, cache effectiveness and tail latency: the
+// evidence that the serve layer turns the single-user reproduction into a
+// concurrent service.
+func runServeLoadgen(cfg loadgenConfig) error {
+	sys := contextrank.NewSystem()
+	d, err := workload.LoadBench(sys.Loader(), sys.Rules(), cfg.Spec, cfg.Rules)
+	if err != nil {
+		return err
+	}
+
+	srv := serve.NewServer(sys, serve.Options{CacheSize: cfg.CacheSize})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: serve.NewHandler(srv)}
+	go httpSrv.Serve(ln) //nolint:errcheck // closed via ln.Close at the end
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Clients * 2,
+		MaxIdleConnsPerHost: cfg.Clients * 2,
+	}}
+
+	fmt.Printf("dataset: %d tuples, %d rules; %d clients for %s at %s\n",
+		d.TupleCount, cfg.Rules, cfg.Clients, cfg.Duration, base)
+
+	var (
+		totalRanks atomic.Int64
+		errCount   atomic.Int64
+		firstErr   atomic.Value
+	)
+	started := time.Now()
+	deadline := started.Add(cfg.Duration)
+
+	// Optional background mutator: asserts fresh watched-tuples through the
+	// write path so the run exercises epoch invalidation under load.
+	stopMut := make(chan struct{})
+	var mutWG sync.WaitGroup
+	if cfg.AssertEvery > 0 {
+		mutWG.Add(1)
+		go func() {
+			defer mutWG.Done()
+			tick := time.NewTicker(cfg.AssertEvery)
+			defer tick.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-stopMut:
+					return
+				case <-tick.C:
+					body := fmt.Sprintf(
+						`{"roles":[{"role":"watched","src":"person%04d","dst":"tv%03d","prob":0.9}]}`,
+						i%cfg.Spec.Persons, i%cfg.Spec.Programs)
+					resp, err := client.Post(base+"/v1/assert", "application/json", bytes.NewBufferString(body))
+					if err != nil {
+						record(&errCount, &firstErr, fmt.Errorf("assert: %w", err))
+						return
+					}
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						record(&errCount, &firstErr, fmt.Errorf("assert: %s", resp.Status))
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			user := fmt.Sprintf("person%04d", c%cfg.Spec.Persons)
+			phase := 0
+			setCtx := func() bool {
+				// Each client holds a certain membership in a rotating
+				// subset of the bench context concepts.
+				var ms []string
+				for i := 0; i < cfg.Rules; i++ {
+					if (i+phase)%2 == 0 {
+						ms = append(ms, fmt.Sprintf(`{"concept":%q,"prob":1}`, workload.BenchContextConcept(i)))
+					}
+				}
+				body := fmt.Sprintf(`{"measurements":[%s]}`, strings.Join(ms, ","))
+				req, _ := http.NewRequest(http.MethodPut, base+"/v1/sessions/"+user+"/context", bytes.NewBufferString(body))
+				resp, err := client.Do(req)
+				if err != nil {
+					record(&errCount, &firstErr, err)
+					return false
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					record(&errCount, &firstErr, fmt.Errorf("session update: %s", resp.Status))
+					return false
+				}
+				return true
+			}
+			if !setCtx() {
+				return
+			}
+			rankBody := []byte(fmt.Sprintf(`{"user":%q,"target":"TvProgram","limit":10}`, user))
+			n := 0
+			for time.Now().Before(deadline) {
+				resp, err := client.Post(base+"/v1/rank", "application/json", bytes.NewBuffer(rankBody))
+				if err != nil {
+					record(&errCount, &firstErr, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					resp.Body.Close()
+					record(&errCount, &firstErr, fmt.Errorf("rank: %s", resp.Status))
+					return
+				}
+				// Drain so the connection is reused.
+				var rr struct {
+					Results []struct {
+						ID string `json:"id"`
+					} `json:"results"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&rr)
+				resp.Body.Close()
+				if err != nil {
+					record(&errCount, &firstErr, err)
+					return
+				}
+				totalRanks.Add(1)
+				n++
+				if cfg.Churn > 0 && n%cfg.Churn == 0 {
+					phase++
+					if !setCtx() {
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(started)
+	close(stopMut)
+	mutWG.Wait()
+
+	st := srv.Stats()
+	ranks := totalRanks.Load()
+	fmt.Printf("ranks: %d in %.2fs → %.0f req/s across %d clients\n",
+		ranks, elapsed.Seconds(), float64(ranks)/elapsed.Seconds(), cfg.Clients)
+	fmt.Printf("cache: %s\n", st.Cache)
+	fmt.Printf("latency: mean %.0fµs p50 %.0fµs p95 %.0fµs p99 %.0fµs (server-side; %d observations, percentiles over last %d)\n",
+		st.Latency.MeanMicros, st.Latency.P50Micros, st.Latency.P95Micros, st.Latency.P99Micros,
+		st.Latency.Count, st.Latency.Window)
+	fmt.Printf("epoch: %d, sessions: %d\n", st.Epoch, st.Sessions)
+	if n := errCount.Load(); n > 0 {
+		return fmt.Errorf("%d client errors, first: %v", n, firstErr.Load())
+	}
+	return nil
+}
+
+func record(count *atomic.Int64, first *atomic.Value, err error) {
+	if count.Add(1) == 1 {
+		first.Store(err)
+	}
+}

@@ -5,12 +5,18 @@
 //
 // Usage:
 //
-//	carbench [-exp all|e1|e2|e3|a1|a2|a3] [-timeout 30s] [-maxrules 8] [-small]
+//	carbench [-exp all|e1|e2|e3|a1|a2|a3|a4|serve] [-timeout 30s] [-maxrules 8] [-small]
 //
 // e1: Table 1 worked example          e2: Figure 1 history abstraction
 // e3: §5 scalability (view ranker)    a1: ranker ablation sweep
 // a2: §6 λ-weighting sweep            a3: σ-miner convergence
 // a4: Monte Carlo accuracy vs budget
+//
+// serve: load-generate the internal/serve layer over HTTP — N goroutine
+// clients with per-user session contexts ranking the TV-watcher dataset
+// against cmd/carserved's stack in-process (-clients, -benchdur, -churn,
+// -assertevery, -cachesize). Not part of -exp all: it is a throughput
+// demonstration, not a paper reproduction.
 package main
 
 import (
@@ -26,11 +32,17 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, e1, e2, e3, a1, a2, a3, a4")
+		exp      = flag.String("exp", "all", "experiment to run: all, e1, e2, e3, a1, a2, a3, a4, serve (load generator; not in 'all')")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-point budget for sweeps (the paper aborted at 30min)")
 		maxRules = flag.Int("maxrules", 8, "largest rule count in the scalability sweeps")
 		small    = flag.Bool("small", false, "use the scaled-down dataset instead of the paper's ~11k tuples")
 		seed     = flag.Int64("seed", 42, "random seed for synthetic histories")
+
+		clients     = flag.Int("clients", 16, "serve: concurrent goroutine clients")
+		benchdur    = flag.Duration("benchdur", 5*time.Second, "serve: load-generation duration")
+		churn       = flag.Int("churn", 0, "serve: session context update every N ranks per client (0 = never)")
+		assertevery = flag.Duration("assertevery", 0, "serve: background fact-assertion interval bumping the epoch (0 = off)")
+		cachesize   = flag.Int("cachesize", 0, "serve: rank cache capacity (0 = default, -1 = disabled)")
 	)
 	flag.Parse()
 
@@ -112,6 +124,21 @@ func main() {
 		exitOn(err)
 		fmt.Printf("rules: %d; baseline: exact factorized scores\n", res.Rules)
 		res.Table().Write(os.Stdout)
+	}
+
+	if strings.EqualFold(*exp, "serve") {
+		ran = true
+		section("SERVE — internal/serve concurrent ranking service under HTTP load")
+		err := runServeLoadgen(loadgenConfig{
+			Spec:        spec,
+			Rules:       *maxRules,
+			Clients:     *clients,
+			Duration:    *benchdur,
+			Churn:       *churn,
+			AssertEvery: *assertevery,
+			CacheSize:   *cachesize,
+		})
+		exitOn(err)
 	}
 
 	if !ran {

@@ -1,0 +1,108 @@
+// Command carserved is the context-aware ranking daemon: it wraps a
+// contextrank.System in the internal/serve layer (locking facade, per-user
+// sessions, epoch-invalidated rank cache) and exposes the HTTP/JSON API
+// documented on serve.Handler.
+//
+// Usage:
+//
+//	carserved [-addr :8372] [-cache 1024] [-preload none|small|paper] [-rules 4]
+//
+// With -preload the daemon starts already loaded with the paper's §5
+// TV-watcher database (small = scaled-down test sizes, paper = ~11k
+// tuples) and the scalability rule series, so a load generator — e.g.
+// `carbench -exp serve` — can rank immediately:
+//
+//	carserved -preload small -rules 4 &
+//	curl -X PUT localhost:8372/v1/sessions/person0000/context \
+//	     -d '{"measurements":[{"concept":"BenchCtx0","prob":1}]}'
+//	curl 'localhost:8372/v1/rank?user=person0000&target=TvProgram&limit=3'
+//
+// Known limitation: session updates whose measurements carry uncertainty
+// (prob < 1, or exclusive groups) declare fresh basic events in the event
+// space on every apply, and the space has no retirement yet — a daemon
+// under sustained uncertain-context churn grows memory without bound (see
+// the ROADMAP open item). Certain measurements (prob 1) do not accumulate.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	contextrank "repro"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8372", "listen address")
+		cache   = flag.Int("cache", serve.DefaultCacheSize, "rank cache capacity in entries (-1 disables caching)")
+		preload = flag.String("preload", "none", "preload dataset: none, small or paper")
+		rules   = flag.Int("rules", 4, "preference rules to register with -preload")
+	)
+	flag.Parse()
+
+	sys := contextrank.NewSystem()
+	if err := preloadDataset(sys, *preload, *rules); err != nil {
+		log.Fatalf("carserved: %v", err)
+	}
+
+	srv := serve.NewServer(sys, serve.Options{CacheSize: *cache})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.NewHandler(srv),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	go func() {
+		log.Printf("carserved: listening on %s (preload=%s cache=%d)", *addr, *preload, *cache)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("carserved: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("carserved: shutdown: %v", err)
+	}
+	st := srv.Stats()
+	log.Printf("carserved: served %d rank requests, cache %s, epoch %d",
+		st.Requests, st.Cache, st.Epoch)
+}
+
+// preloadDataset fills the system with the §5 TV-watcher database and the
+// scalability rule series. The BenchCtx concepts the rules reference are
+// declared up front so rankings work before any session asserts them.
+func preloadDataset(sys *contextrank.System, preload string, k int) error {
+	var spec workload.Spec
+	switch preload {
+	case "none":
+		return nil
+	case "small":
+		spec = workload.SmallSpec()
+	case "paper":
+		spec = workload.DefaultSpec()
+	default:
+		return fmt.Errorf("unknown -preload %q (want none, small or paper)", preload)
+	}
+	d, err := workload.LoadBench(sys.Loader(), sys.Rules(), spec, k)
+	if err != nil {
+		return err
+	}
+	log.Printf("carserved: preloaded %d tuples (%d persons, %d programs), %d rules",
+		d.TupleCount, spec.Persons, spec.Programs, k)
+	return nil
+}

@@ -71,6 +71,8 @@ type (
 	IRIndex = ir.Index
 	// IRDocument is one bag-of-features document in an IRIndex.
 	IRDocument = ir.Document
+	// Finding is one rule-analysis diagnostic from AnalyzeRules.
+	Finding = prefs.Finding
 )
 
 // NewContext returns an empty context for the given user individual.
@@ -115,8 +117,41 @@ type RankOptions struct {
 }
 
 // System bundles the engine, the DL mapping, the rule repository and the
-// rankers. Create with NewSystem; safe for concurrent reads, but schema
-// changes, assertions and context updates must not race with ranking.
+// rankers. Create with NewSystem.
+//
+// # Locking contract
+//
+// Every component a System is built from is individually safe for
+// concurrent use: the SQL executor guards its view registry with an
+// RWMutex (DDL takes the write lock), the storage tables and catalog are
+// RWMutex-protected, the event space serializes declarations and guards
+// its probability memo cache with its own mutex, the mapping loader locks
+// its vocabulary and compiled-view cache, and the rule repository and
+// history log are RWMutex-protected. The per-System event-name counter
+// (evSeq) is a sync/atomic counter, and the sampled ranker builds a fresh
+// deterministic generator per Rank call, so none of these race at the
+// memory level.
+//
+// What the components cannot provide is cross-call atomicity: a mutator
+// such as SetContext is a multi-step transaction (clear the previous
+// context's concept assertions, declare fresh basic events, assert the new
+// memberships), and a Rank running between those steps observes a
+// half-applied context — no data race, but a semantically torn read. The
+// same holds for AddRule (auto-declaring context concepts before
+// registering the rule) and for AssertConcept/AssertRole versus an
+// in-flight ranking. Therefore:
+//
+//   - Concurrent readers are safe: any number of goroutines may call
+//     Rank, RankWith, RankQuery, RankGroup, Query and AnalyzeRules at
+//     once. (Ranking may lazily compile concept views, but view
+//     compilation is internally synchronized and idempotent.)
+//   - Mutators — DeclareConcept, DeclareRole, SubConcept, AssertConcept,
+//     AssertRole, AddRule, SetContext, Exec, RestoreSystem-adjacent setup
+//     — must be externally serialized against all readers.
+//
+// internal/serve.Facade packages exactly this discipline (readers share an
+// RLock, mutators take the write lock and bump an invalidation epoch);
+// servers should wrap a System in it rather than hand-rolling locks.
 type System struct {
 	db     *engine.DB
 	loader *mapping.Loader

@@ -1,0 +1,488 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	contextrank "repro"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// maxBodyBytes bounds request bodies; context updates and rule batches are
+// small, and the limit keeps a misbehaving client from ballooning memory.
+const maxBodyBytes = 1 << 20
+
+// Handler is the HTTP/JSON front-end over a Server (net/http only).
+//
+// Endpoints:
+//
+//	POST   /v1/declare                  {"concepts":[...],"roles":[...],"subconcepts":[{"sub","super"}]}
+//	POST   /v1/assert                   {"concepts":[{"concept","id","prob"}],"roles":[{"role","src","dst","prob"}]}
+//	GET    /v1/rules                    registered rules
+//	POST   /v1/rules                    {"rules":["RULE ... WHEN ... PREFER ... WITH ..."]}
+//	DELETE /v1/rules/{name}             remove one rule
+//	PUT    /v1/sessions/{user}/context  {"measurements":[{"concept","prob",...}]}
+//	GET    /v1/sessions/{user}          session fingerprint + measurements
+//	DELETE /v1/sessions/{user}          end the session
+//	POST   /v1/rank                     {"user","target","algorithm","threshold","limit","explain"}
+//	GET    /v1/rank?user=&target=&...   same via query parameters
+//	POST   /v1/query                    {"sql":"SELECT ..."} (read-only)
+//	POST   /v1/exec                     {"sql":"INSERT ..."} (write; bumps the epoch)
+//	GET    /v1/stats                    server statistics
+//	GET    /healthz                     liveness
+type Handler struct {
+	srv *Server
+	mux *http.ServeMux
+}
+
+// NewHandler builds the HTTP API over the server.
+func NewHandler(srv *Server) *Handler {
+	h := &Handler{srv: srv, mux: http.NewServeMux()}
+	h.mux.HandleFunc("POST /v1/declare", h.declare)
+	h.mux.HandleFunc("POST /v1/assert", h.assert)
+	h.mux.HandleFunc("GET /v1/rules", h.listRules)
+	h.mux.HandleFunc("POST /v1/rules", h.addRules)
+	h.mux.HandleFunc("DELETE /v1/rules/{name}", h.removeRule)
+	h.mux.HandleFunc("PUT /v1/sessions/{user}/context", h.setSession)
+	h.mux.HandleFunc("GET /v1/sessions/{user}", h.getSession)
+	h.mux.HandleFunc("DELETE /v1/sessions/{user}", h.dropSession)
+	h.mux.HandleFunc("POST /v1/rank", h.rankPost)
+	h.mux.HandleFunc("GET /v1/rank", h.rankGet)
+	h.mux.HandleFunc("POST /v1/query", h.query)
+	h.mux.HandleFunc("POST /v1/exec", h.exec)
+	h.mux.HandleFunc("GET /v1/stats", h.stats)
+	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// --- request/response shapes ----------------------------------------------
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type declareRequest struct {
+	Concepts    []string `json:"concepts"`
+	Roles       []string `json:"roles"`
+	Subconcepts []struct {
+		Sub   string `json:"sub"`
+		Super string `json:"super"`
+	} `json:"subconcepts"`
+}
+
+type assertRequest struct {
+	Concepts []struct {
+		Concept string  `json:"concept"`
+		ID      string  `json:"id"`
+		Prob    float64 `json:"prob"`
+	} `json:"concepts"`
+	Roles []struct {
+		Role string  `json:"role"`
+		Src  string  `json:"src"`
+		Dst  string  `json:"dst"`
+		Prob float64 `json:"prob"`
+	} `json:"roles"`
+}
+
+type rulesRequest struct {
+	Rules []string `json:"rules"`
+}
+
+type ruleJSON struct {
+	Name       string  `json:"name"`
+	Context    string  `json:"context"`
+	Preference string  `json:"preference"`
+	Sigma      float64 `json:"sigma"`
+}
+
+type sessionRequest struct {
+	Measurements []measurementJSON `json:"measurements"`
+}
+
+type measurementJSON struct {
+	Concept    string  `json:"concept"`
+	Individual string  `json:"individual,omitempty"`
+	Prob       float64 `json:"prob"`
+	Exclusive  string  `json:"exclusive,omitempty"`
+	Source     string  `json:"source,omitempty"`
+}
+
+type rankRequest struct {
+	User      string  `json:"user"`
+	Target    string  `json:"target"`
+	Algorithm string  `json:"algorithm,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	Limit     int     `json:"limit,omitempty"`
+	Explain   bool    `json:"explain,omitempty"`
+}
+
+type rankResponse struct {
+	Results []resultJSON `json:"results"`
+	Cached  bool         `json:"cached"`
+	Epoch   int64        `json:"epoch"`
+	Micros  int64        `json:"micros"`
+}
+
+type resultJSON struct {
+	ID          string   `json:"id"`
+	Score       float64  `json:"score"`
+	Explanation []string `json:"explanation,omitempty"`
+}
+
+type sqlRequest struct {
+	SQL string `json:"sql"`
+}
+
+type sqlResponse struct {
+	Cols []string `json:"cols"`
+	Rows [][]any  `json:"rows"`
+}
+
+// --- endpoint implementations ---------------------------------------------
+
+func (h *Handler) declare(w http.ResponseWriter, r *http.Request) {
+	var req declareRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	epoch, err := h.srv.Facade().WithWriteEpoch(func(sys *contextrank.System) error {
+		if len(req.Concepts) > 0 {
+			if err := sys.DeclareConcept(req.Concepts...); err != nil {
+				return err
+			}
+		}
+		if len(req.Roles) > 0 {
+			if err := sys.DeclareRole(req.Roles...); err != nil {
+				return err
+			}
+		}
+		for _, sc := range req.Subconcepts {
+			if err := sys.SubConcept(sc.Sub, sc.Super); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"epoch": epoch})
+}
+
+func (h *Handler) assert(w http.ResponseWriter, r *http.Request) {
+	var req assertRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	// The session-vocabulary check runs inside the write critical
+	// section: session applies also hold the write lock, so the
+	// vocabulary cannot change between check and assert (no TOCTOU).
+	epoch, err := h.srv.Facade().WithWriteEpoch(func(sys *contextrank.System) error {
+		for _, a := range req.Concepts {
+			if h.srv.Sessions().IsSessionConcept(a.Concept) {
+				return fmt.Errorf(
+					"serve: concept %q is session-context vocabulary; the next context apply would clear the assertion — manage it via /v1/sessions instead", a.Concept)
+			}
+			if err := sys.AssertConcept(a.Concept, a.ID, a.Prob); err != nil {
+				return err
+			}
+		}
+		for _, a := range req.Roles {
+			if err := sys.AssertRole(a.Role, a.Src, a.Dst, a.Prob); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"epoch": epoch})
+}
+
+func (h *Handler) listRules(w http.ResponseWriter, r *http.Request) {
+	rules := h.srv.Facade().Rules()
+	out := make([]ruleJSON, 0, len(rules))
+	for _, rule := range rules {
+		out = append(out, ruleJSON{
+			Name:       rule.Name,
+			Context:    rule.Context.String(),
+			Preference: rule.Preference.String(),
+			Sigma:      rule.Sigma,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rules": out})
+}
+
+func (h *Handler) addRules(w http.ResponseWriter, r *http.Request) {
+	var req rulesRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Rules) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: no rules in request"))
+		return
+	}
+	var added []string
+	epoch, err := h.srv.Facade().WithWriteEpoch(func(sys *contextrank.System) error {
+		for _, text := range req.Rules {
+			rule, err := sys.AddRule(text)
+			if err != nil {
+				return err
+			}
+			added = append(added, rule.Name)
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"added": added, "epoch": epoch})
+}
+
+func (h *Handler) removeRule(w http.ResponseWriter, r *http.Request) {
+	epoch, err := h.srv.Facade().WithWriteEpoch(func(sys *contextrank.System) error {
+		return sys.Rules().Remove(r.PathValue("name"))
+	})
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"epoch": epoch})
+}
+
+func (h *Handler) setSession(w http.ResponseWriter, r *http.Request) {
+	var req sessionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ms := make([]Measurement, len(req.Measurements))
+	for i, m := range req.Measurements {
+		ms[i] = Measurement{
+			Concept:    m.Concept,
+			Individual: m.Individual,
+			Prob:       m.Prob,
+			Exclusive:  m.Exclusive,
+			Source:     m.Source,
+		}
+	}
+	fp, err := h.srv.Sessions().Set(r.PathValue("user"), ms)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"fingerprint": fp})
+}
+
+func (h *Handler) getSession(w http.ResponseWriter, r *http.Request) {
+	user := r.PathValue("user")
+	ms, fp, ok := h.srv.Sessions().Snapshot(user)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no session for %q", user))
+		return
+	}
+	out := make([]measurementJSON, len(ms))
+	for i, m := range ms {
+		out[i] = measurementJSON{
+			Concept:    m.Concept,
+			Individual: m.Individual,
+			Prob:       m.Prob,
+			Exclusive:  m.Exclusive,
+			Source:     m.Source,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"user":         user,
+		"fingerprint":  fp,
+		"measurements": out,
+	})
+}
+
+func (h *Handler) dropSession(w http.ResponseWriter, r *http.Request) {
+	if err := h.srv.Sessions().Drop(r.PathValue("user")); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "dropped"})
+}
+
+func (h *Handler) rankPost(w http.ResponseWriter, r *http.Request) {
+	var req rankRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	h.rank(w, req)
+}
+
+func (h *Handler) rankGet(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	req := rankRequest{
+		User:      q.Get("user"),
+		Target:    q.Get("target"),
+		Algorithm: q.Get("algorithm"),
+		Explain:   q.Get("explain") == "true",
+	}
+	if v := q.Get("threshold"); v != "" {
+		t, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad threshold %q", v))
+			return
+		}
+		req.Threshold = t
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad limit %q", v))
+			return
+		}
+		req.Limit = n
+	}
+	h.rank(w, req)
+}
+
+func (h *Handler) rank(w http.ResponseWriter, req rankRequest) {
+	if req.User == "" || req.Target == "" {
+		writeError(w, http.StatusBadRequest, errors.New("serve: rank needs user and target"))
+		return
+	}
+	opts := contextrank.RankOptions{
+		Algorithm: contextrank.Algorithm(req.Algorithm),
+		Threshold: req.Threshold,
+		Limit:     req.Limit,
+		Explain:   req.Explain,
+	}
+	results, meta, err := h.srv.Rank(req.User, req.Target, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := rankResponse{
+		Results: make([]resultJSON, len(results)),
+		Cached:  meta.Cached,
+		Epoch:   meta.Epoch,
+		Micros:  meta.Elapsed.Microseconds(),
+	}
+	for i, res := range results {
+		rj := resultJSON{ID: res.ID, Score: res.Score}
+		if res.Explanation != nil {
+			for _, rc := range res.Explanation.Rules {
+				rj.Explanation = append(rj.Explanation, rc.String())
+			}
+		}
+		out.Results[i] = rj
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
+	var req sqlRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	res, err := h.srv.Facade().Query(req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sqlResultJSON(res))
+}
+
+func (h *Handler) exec(w http.ResponseWriter, r *http.Request) {
+	var req sqlRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	var res *contextrank.QueryResult
+	epoch, err := h.srv.Facade().WithWriteEpoch(func(sys *contextrank.System) error {
+		r, rerr := sys.Exec(req.SQL)
+		res = r
+		return rerr
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := sqlResultJSON(res)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cols": out.Cols, "rows": out.Rows, "epoch": epoch,
+	})
+}
+
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.srv.Stats())
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(payload)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func sqlResultJSON(res *sql.Result) sqlResponse {
+	if res == nil {
+		// Statements like CREATE TABLE or INSERT produce no result set.
+		return sqlResponse{Cols: []string{}, Rows: [][]any{}}
+	}
+	out := sqlResponse{Cols: res.Cols, Rows: make([][]any, len(res.Rows))}
+	for i, row := range res.Rows {
+		vals := make([]any, len(row))
+		for j, v := range row {
+			vals[j] = jsonValue(v)
+		}
+		out.Rows[i] = vals
+	}
+	return out
+}
+
+// jsonValue renders a storage value for JSON transport; event expressions
+// travel as their textual form.
+func jsonValue(v storage.Value) any {
+	switch v.T {
+	case storage.TypeInt:
+		return v.I
+	case storage.TypeFloat:
+		return v.F
+	case storage.TypeText:
+		return v.S
+	case storage.TypeBool:
+		return v.B
+	case storage.TypeEvent:
+		if v.Ev == nil {
+			return nil
+		}
+		return v.Ev.String()
+	default:
+		return nil
+	}
+}

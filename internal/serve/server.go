@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	contextrank "repro"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// CacheSize is the rank-result LRU capacity (entries). 0 means
+	// DefaultCacheSize; negative disables caching entirely.
+	CacheSize int
+}
+
+// Server is the complete serving layer: facade + sessions + rank cache +
+// statistics. It is safe for concurrent use by any number of goroutines.
+type Server struct {
+	facade   *Facade
+	sessions *Sessions
+	cache    *rankCache // nil when caching is disabled
+	latency  *latencyRecorder
+	start    time.Time
+	requests atomic.Int64
+}
+
+// NewServer wraps the system for serving. The caller must route all
+// subsequent access through the returned server (or its Facade).
+func NewServer(sys *contextrank.System, opts Options) *Server {
+	srv := &Server{
+		facade:  NewFacade(sys),
+		latency: &latencyRecorder{},
+		start:   time.Now(),
+	}
+	srv.sessions = newSessions(srv.facade)
+	if opts.CacheSize >= 0 {
+		srv.cache = newRankCache(opts.CacheSize)
+	}
+	return srv
+}
+
+// Facade returns the locking facade for direct (uncached) operations.
+func (s *Server) Facade() *Facade { return s.facade }
+
+// Sessions returns the per-user session manager.
+func (s *Server) Sessions() *Sessions { return s.sessions }
+
+// RankMeta describes how a Rank call was served.
+type RankMeta struct {
+	Cached  bool          // served from cache or coalesced onto another call
+	Epoch   int64         // facade epoch the result corresponds to
+	Elapsed time.Duration // wall time of this call
+}
+
+// Rank ranks target for user through the cache: a hit under an unchanged
+// (epoch, session fingerprint) is O(1), identical concurrent misses are
+// coalesced onto one computation, and the rest take the facade read path.
+func (s *Server) Rank(user, target string, opts contextrank.RankOptions) ([]contextrank.Result, RankMeta, error) {
+	started := time.Now()
+	s.requests.Add(1)
+
+	// AppliedFingerprint is lock-free, so it is safe both here and inside
+	// the facade read lock below (Sessions.Set holds its own mutex across
+	// the facade write lock, so Sessions.Fingerprint — which takes that
+	// mutex — would deadlock there). If a session update lands between
+	// this read and the ranking, the compute closure re-reads fingerprint
+	// and epoch under the read lock and files the result under the pair
+	// it was actually computed at.
+	fp := s.sessions.AppliedFingerprint(user)
+	epoch := s.facade.Epoch()
+
+	var (
+		res    []contextrank.Result
+		cached bool
+		err    error
+	)
+	if s.cache == nil {
+		err = s.facade.withReadEpoch(func(sys *contextrank.System, e int64) error {
+			epoch = e
+			r, rerr := sys.RankWith(user, target, opts)
+			res = r
+			return rerr
+		})
+	} else {
+		key := rankKey(user, target, fp, epoch, opts)
+		res, epoch, cached, err = s.cache.do(key, func() ([]contextrank.Result, string, int64, error) {
+			var out []contextrank.Result
+			storeKey, observed := key, epoch
+			cerr := s.facade.withReadEpoch(func(sys *contextrank.System, e int64) error {
+				observed = e
+				storeKey = rankKey(user, target, s.sessions.AppliedFingerprint(user), e, opts)
+				r, rerr := sys.RankWith(user, target, opts)
+				out = r
+				return rerr
+			})
+			return out, storeKey, observed, cerr
+		})
+	}
+
+	elapsed := time.Since(started)
+	if err == nil {
+		s.latency.observe(elapsed)
+	}
+	return res, RankMeta{Cached: cached, Epoch: epoch, Elapsed: elapsed}, err
+}
+
+// Stats is the server's observable state, shaped for the /v1/stats
+// endpoint and the load generator.
+type Stats struct {
+	Epoch         int64        `json:"epoch"`
+	Sessions      int          `json:"sessions"`
+	Rules         int          `json:"rules"`
+	Requests      int64        `json:"rank_requests"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Cache         CacheStats   `json:"cache"`
+	Latency       LatencyStats `json:"latency"`
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Epoch:         s.facade.Epoch(),
+		Sessions:      s.sessions.Count(),
+		Rules:         s.facade.RuleCount(),
+		Requests:      s.requests.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Latency:       s.latency.snapshot(),
+	}
+	if s.cache != nil {
+		st.Cache = s.cache.stats()
+	}
+	return st
+}

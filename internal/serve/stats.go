@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent observations the percentile estimator
+// keeps. Old observations are overwritten ring-buffer style, so reported
+// percentiles describe recent traffic, not all-time history.
+const latencyWindow = 4096
+
+// latencyRecorder tracks request latencies in a fixed-size ring.
+type latencyRecorder struct {
+	mu    sync.Mutex
+	ring  [latencyWindow]time.Duration
+	next  int
+	count int64
+	sum   time.Duration
+}
+
+func (r *latencyRecorder) observe(d time.Duration) {
+	r.mu.Lock()
+	r.ring[r.next] = d
+	r.next = (r.next + 1) % latencyWindow
+	r.count++
+	r.sum += d
+	r.mu.Unlock()
+}
+
+// LatencyStats summarizes the recent latency distribution. Quantiles are
+// over the retained window (its actual size is Window); Count and
+// MeanMicros are all-time.
+type LatencyStats struct {
+	Count      int64   `json:"count"`
+	Window     int     `json:"window"`
+	MeanMicros float64 `json:"mean_us"`
+	P50Micros  float64 `json:"p50_us"`
+	P95Micros  float64 `json:"p95_us"`
+	P99Micros  float64 `json:"p99_us"`
+}
+
+func (r *latencyRecorder) snapshot() LatencyStats {
+	r.mu.Lock()
+	n := int(r.count)
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	window := make([]time.Duration, n)
+	copy(window, r.ring[:n])
+	st := LatencyStats{Count: r.count, Window: n}
+	if r.count > 0 {
+		st.MeanMicros = float64(r.sum.Microseconds()) / float64(r.count)
+	}
+	r.mu.Unlock()
+
+	if n == 0 {
+		return st
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	quantile := func(q float64) float64 {
+		idx := int(q * float64(n-1))
+		return float64(window[idx].Nanoseconds()) / 1e3
+	}
+	st.P50Micros = quantile(0.50)
+	st.P95Micros = quantile(0.95)
+	st.P99Micros = quantile(0.99)
+	return st
+}

@@ -78,14 +78,23 @@ type Dataset struct {
 	Rooms      []string
 }
 
-// Generate builds the dataset.
+// Generate builds the dataset on a fresh database.
 func Generate(spec Spec) (*Dataset, error) {
+	return GenerateInto(mapping.NewLoader(engine.New(), nil), spec)
+}
+
+// GenerateInto builds the dataset through an existing loader — e.g. a
+// contextrank.System's, so a full System (and the serving layer over it)
+// can host the paper's TV-watcher database:
+//
+//	sys := contextrank.NewSystem()
+//	d, err := workload.GenerateInto(sys.Loader(), workload.SmallSpec())
+func GenerateInto(l *mapping.Loader, spec Spec) (*Dataset, error) {
 	if spec.Persons <= 0 || spec.Programs <= 0 || spec.Genres <= 0 {
 		return nil, fmt.Errorf("workload: spec must have positive persons, programs and genres")
 	}
 	rng := rand.New(rand.NewSource(spec.Seed))
-	db := engine.New()
-	l := mapping.NewLoader(db, nil)
+	db := l.DB()
 	d := &Dataset{Spec: spec, Loader: l}
 
 	for _, c := range []string{"Person", "TvProgram", "Genre", "Subject", "Activity", "Room"} {
@@ -218,6 +227,33 @@ func Generate(spec Spec) (*Dataset, error) {
 // BenchContextConcept names the i-th synthetic context concept used by the
 // scalability experiment.
 func BenchContextConcept(i int) string { return fmt.Sprintf("BenchCtx%d", i) }
+
+// LoadBench is the standard serving-bench setup: generate the dataset
+// through the loader, declare the rules' context concepts up front (so
+// ranking works before any context asserts them), and register the
+// scalability rule series in the repository. Used by carserved's preload,
+// carbench's load generator and the serve benchmarks.
+func LoadBench(l *mapping.Loader, repo *prefs.Repository, spec Spec, rules int) (*Dataset, error) {
+	d, err := GenerateInto(l, spec)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < rules; i++ {
+		if err := l.DeclareConcept(BenchContextConcept(i)); err != nil {
+			return nil, err
+		}
+	}
+	rs, err := d.Rules(rules)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rs {
+		if err := repo.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
 
 // ApplyBenchContext asserts k synthetic context concepts for the dataset's
 // user. With certain=false every concept holds with probability 0.9 via a
