@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,7 @@ type loadgenConfig struct {
 	Churn       int           // every Churn ranks a client rotates its session context (0 = never)
 	AssertEvery time.Duration // background fact-assertion interval, bumps the epoch (0 = off)
 	CacheSize   int
+	CtxProb     float64 // membership probability of session measurements; < 1 declares (and retires) basic events per apply
 }
 
 // runServeLoadgen stands up the full serving stack — System + facade +
@@ -58,6 +60,15 @@ func runServeLoadgen(cfg loadgenConfig) error {
 
 	fmt.Printf("dataset: %d tuples, %d rules; %d clients for %s at %s\n",
 		d.TupleCount, cfg.Rules, cfg.Clients, cfg.Duration, base)
+
+	// Memory column: heap and event-space size before vs. after the run.
+	// With -churn and -ctxprob < 1 every session update declares fresh
+	// basic events, so a flat events count here is the observable proof
+	// that retirement keeps the space bounded under churn.
+	runtime.GC()
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	eventsBefore := sys.DB().Space().Len()
 
 	var (
 		totalRanks atomic.Int64
@@ -109,12 +120,13 @@ func runServeLoadgen(cfg loadgenConfig) error {
 			user := fmt.Sprintf("person%04d", c%cfg.Spec.Persons)
 			phase := 0
 			setCtx := func() bool {
-				// Each client holds a certain membership in a rotating
-				// subset of the bench context concepts.
+				// Each client holds a membership (certain by default,
+				// uncertain with -ctxprob < 1) in a rotating subset of the
+				// bench context concepts.
 				var ms []string
 				for i := 0; i < cfg.Rules; i++ {
 					if (i+phase)%2 == 0 {
-						ms = append(ms, fmt.Sprintf(`{"concept":%q,"prob":1}`, workload.BenchContextConcept(i)))
+						ms = append(ms, fmt.Sprintf(`{"concept":%q,"prob":%g}`, workload.BenchContextConcept(i), cfg.CtxProb))
 					}
 				}
 				body := fmt.Sprintf(`{"measurements":[%s]}`, strings.Join(ms, ","))
@@ -185,6 +197,12 @@ func runServeLoadgen(cfg loadgenConfig) error {
 		st.Latency.MeanMicros, st.Latency.P50Micros, st.Latency.P95Micros, st.Latency.P99Micros,
 		st.Latency.Count, st.Latency.Window)
 	fmt.Printf("epoch: %d, sessions: %d\n", st.Epoch, st.Sessions)
+	runtime.GC()
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	fmt.Printf("memory: heap %.1f → %.1f MB; event space %d → %d basics (ctxprob %g; bounded = retirement works)\n",
+		float64(memBefore.HeapAlloc)/(1<<20), float64(memAfter.HeapAlloc)/(1<<20),
+		eventsBefore, st.Events, cfg.CtxProb)
 	if n := errCount.Load(); n > 0 {
 		return fmt.Errorf("%d client errors, first: %v", n, firstErr.Load())
 	}

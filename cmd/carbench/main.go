@@ -15,8 +15,10 @@
 // serve: load-generate the internal/serve layer over HTTP — N goroutine
 // clients with per-user session contexts ranking the TV-watcher dataset
 // against cmd/carserved's stack in-process (-clients, -benchdur, -churn,
-// -assertevery, -cachesize). Not part of -exp all: it is a throughput
-// demonstration, not a paper reproduction.
+// -assertevery, -cachesize, -ctxprob). Reports a memory column (heap and
+// event-space size before/after) — with -churn and -ctxprob < 1 it shows
+// event retirement holding the space bounded. Not part of -exp all: it is
+// a throughput demonstration, not a paper reproduction.
 package main
 
 import (
@@ -43,6 +45,7 @@ func main() {
 		churn       = flag.Int("churn", 0, "serve: session context update every N ranks per client (0 = never)")
 		assertevery = flag.Duration("assertevery", 0, "serve: background fact-assertion interval bumping the epoch (0 = off)")
 		cachesize   = flag.Int("cachesize", 0, "serve: rank cache capacity (0 = default, -1 = disabled)")
+		ctxprob     = flag.Float64("ctxprob", 1, "serve: session measurement probability; < 1 churns basic events through the space on every context update")
 	)
 	flag.Parse()
 
@@ -137,6 +140,7 @@ func main() {
 			Churn:       *churn,
 			AssertEvery: *assertevery,
 			CacheSize:   *cachesize,
+			CtxProb:     *ctxprob,
 		})
 		exitOn(err)
 	}

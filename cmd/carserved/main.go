@@ -17,11 +17,11 @@
 //	     -d '{"measurements":[{"concept":"BenchCtx0","prob":1}]}'
 //	curl 'localhost:8372/v1/rank?user=person0000&target=TvProgram&limit=3'
 //
-// Known limitation: session updates whose measurements carry uncertainty
-// (prob < 1, or exclusive groups) declare fresh basic events in the event
-// space on every apply, and the space has no retirement yet — a daemon
-// under sustained uncertain-context churn grows memory without bound (see
-// the ROADMAP open item). Certain measurements (prob 1) do not accumulate.
+// Session updates whose measurements carry uncertainty (prob < 1, or
+// exclusive groups) declare fresh basic events on every apply; each apply
+// also retires the previous snapshot's events (event.Space.Retire), so the
+// event space — observable as "events" on /v1/stats — stays bounded by the
+// live session vocabulary under arbitrary churn.
 package main
 
 import (

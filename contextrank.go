@@ -404,11 +404,16 @@ func RestoreSystem(r io.Reader) (*System, error) {
 		return nil, err
 	}
 	loader := mapping.NewLoader(db, dl.NewTBox())
+	// A snapshot taken with an applied context carries that context's ctx_*
+	// declarations; the loader adopted the dl_ctx record for them, and this
+	// advances the epoch counter past the restored names so fresh context
+	// events cannot collide with them.
+	situation.AdoptApplied(loader)
 	repo, err := prefs.LoadRepository(db)
 	if err != nil {
 		return nil, err
 	}
-	return &System{
+	sys := &System{
 		db:         db,
 		loader:     loader,
 		repo:       repo,
@@ -417,7 +422,23 @@ func RestoreSystem(r io.Reader) (*System, error) {
 		factorized: core.NewFactorizedRanker(loader),
 		view:       core.NewViewRanker(loader),
 		sampled:    core.NewSampledRanker(loader, 0, 1),
-	}, nil
+	}
+	// Seed the assertion-event counter past every restored c_<n>/r_<n>
+	// name: a fresh counter would regenerate those names, failing on a
+	// different probability — or, worse, silently aliasing two logically
+	// independent assertions onto one event when the probability matches.
+	for _, d := range db.Space().Decls() {
+		var n int64
+		if _, err := fmt.Sscanf(d.Name, "c_%d", &n); err != nil {
+			if _, err := fmt.Sscanf(d.Name, "r_%d", &n); err != nil {
+				continue
+			}
+		}
+		if n > sys.evSeq.Load() {
+			sys.evSeq.Store(n)
+		}
+	}
+	return sys, nil
 }
 
 // Query runs a SQL statement against the embedded database (the uniform

@@ -6,6 +6,45 @@ import (
 	"testing"
 )
 
+// TestRestoreRetiresSnapshotContext: a snapshot taken with an applied
+// uncertain context carries that context's ctx_* declarations; the first
+// SetContext on the restored system must retract and retire them instead of
+// leaking them (or colliding with their names), keeping the event space
+// bounded across save/restore cycles too.
+func TestRestoreRetiresSnapshotContext(t *testing.T) {
+	sys := NewSystem()
+	if err := sys.DeclareConcept("Doc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AssertConcept("Doc", "d1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetContext(NewContext("u").Add("Rainy", 0.7)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSystem(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.DB().Space().Len(); got != 1 {
+		t.Fatalf("restored space holds %d events, want 1 (the snapshot context's)", got)
+	}
+	// Re-sensing context on the restored system (fresh per §5) must neither
+	// collide with the restored event names nor leave them behind.
+	for i := 0; i < 5; i++ {
+		if err := restored.SetContext(NewContext("u").Add("Rainy", 0.8).Add("Cold", 0.5)); err != nil {
+			t.Fatalf("post-restore apply %d: %v", i, err)
+		}
+	}
+	if got := restored.DB().Space().Len(); got != 2 {
+		t.Fatalf("space holds %d events after post-restore applies, want 2 (snapshot context leaked)", got)
+	}
+}
+
 func TestAlgorithmSampledApproximates(t *testing.T) {
 	sys := buildTVTouch(t)
 	exact, err := sys.Rank("peter", "TvProgram")

@@ -102,6 +102,127 @@ func TestRestoreRejectsBadInput(t *testing.T) {
 	}
 }
 
+// TestDumpSkipsDeadDeclarations: ctx_*-named declarations no stored event
+// expression references (leaked or cleared context events) are not
+// persisted; a partially referenced exclusive group survives whole, and
+// non-context declarations survive even when unreferenced (the ad-hoc
+// Declare surface must round-trip).
+func TestDumpSkipsDeadDeclarations(t *testing.T) {
+	db := New()
+	if err := db.Space().Declare("live", 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Space().Declare("adhoc", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Space().Declare("ctx_9_0_Dead", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Space().DeclareExclusive([]string{"ctx_9_1_K", "ctx_9_2_O"}, []float64{0.5, 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Space().DeclareExclusive([]string{"ctx_9_3_G", "ctx_9_4_H"}, []float64{0.2, 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("CREATE TABLE t (id TEXT, ev EVENT)")
+	if err := db.InsertRow("t", "a", event.And(event.Basic("live"), event.Basic("ctx_9_1_K"))); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New()
+	if err := dst.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Referenced events, the referenced group (whole), and the unreferenced
+	// non-context declaration survive.
+	for _, want := range []string{"live", "adhoc", "ctx_9_1_K", "ctx_9_2_O"} {
+		if !dst.Space().Declared(want) {
+			t.Fatalf("%s lost in round trip", want)
+		}
+	}
+	// Dead context declarations — unreferenced independent event and fully
+	// unreferenced group — are gone.
+	for _, dead := range []string{"ctx_9_0_Dead", "ctx_9_3_G", "ctx_9_4_H"} {
+		if dst.Space().Declared(dead) {
+			t.Fatalf("dead declaration %s persisted", dead)
+		}
+	}
+	if p, err := dst.Space().Prob(event.And(event.Basic("ctx_9_1_K"), event.Basic("ctx_9_2_O"))); err != nil || p != 0 {
+		t.Fatalf("restored group exclusivity: P = %g, %v", p, err)
+	}
+}
+
+// TestDumpKeepsViewReferencedDeclarations: an event mentioned only inside a
+// view definition (EV_BASIC literal) has no stored row cell, but dropping
+// it would break the restored view — it must survive the dump filter.
+func TestDumpKeepsViewReferencedDeclarations(t *testing.T) {
+	db := New()
+	if err := db.Space().Declare("ctx_3_0_Rain", 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Space().Declare("ctx_3_1_Orphan", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("CREATE TABLE t (id TEXT, ev EVENT)")
+	if err := db.InsertRow("t", "a", event.True()); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("CREATE VIEW wet AS SELECT id, PROB(EV_AND(ev, EV_BASIC('ctx_3_0_Rain'))) AS p FROM t")
+	var buf bytes.Buffer
+	if err := db.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New()
+	if err := dst.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Space().Declared("ctx_3_0_Rain") {
+		t.Fatal("view-referenced declaration dropped")
+	}
+	if dst.Space().Declared("ctx_3_1_Orphan") {
+		t.Fatal("dead declaration persisted")
+	}
+	v, err := dst.QueryScalar("SELECT p FROM wet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.F-0.3) > 1e-9 {
+		t.Fatalf("restored view P = %v, want 0.3", v)
+	}
+}
+
+// TestDumpKeepsSubqueryReferencedDeclarations: EV_BASIC references hidden
+// inside a view's FROM subquery must keep their declarations alive too.
+func TestDumpKeepsSubqueryReferencedDeclarations(t *testing.T) {
+	db := New()
+	if err := db.Space().Declare("ctx_4_0_Rain", 0.3); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("CREATE TABLE t (id TEXT, ev EVENT)")
+	if err := db.InsertRow("t", "a", event.True()); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec("CREATE VIEW wet AS SELECT s.p AS p FROM (SELECT PROB(EV_AND(ev, EV_BASIC('ctx_4_0_Rain'))) AS p FROM t) s")
+	var buf bytes.Buffer
+	if err := db.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New()
+	if err := dst.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	v, err := dst.QueryScalar("SELECT p FROM wet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.F-0.3) > 1e-9 {
+		t.Fatalf("restored subquery view P = %v, want 0.3", v)
+	}
+}
+
 func TestDumpIsDeterministic(t *testing.T) {
 	a, b := buildSnapshotSource(t), buildSnapshotSource(t)
 	var ba, bb bytes.Buffer

@@ -40,6 +40,12 @@ func TestDeclareValidation(t *testing.T) {
 	if err := s.Declare("e", 1.1); err == nil {
 		t.Fatal("probability > 1 accepted")
 	}
+	if err := s.Declare("e", math.NaN()); err == nil {
+		t.Fatal("NaN probability accepted")
+	}
+	if err := s.DeclareExclusive([]string{"n1", "n2"}, []float64{math.NaN(), 0.1}); err == nil {
+		t.Fatal("NaN group probability accepted")
+	}
 	if err := s.Declare("e", 0.5); err != nil {
 		t.Fatal(err)
 	}

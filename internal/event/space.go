@@ -18,20 +18,50 @@ type basicInfo struct {
 // Independence model: basic events in different groups (or ungrouped) are
 // mutually independent; basic events within one exclusive group are mutually
 // exclusive (at most one is true).
+//
+// # Retirement contract
+//
+// Declarations are not permanent: Retire and RetireGroup remove basic
+// events again, freeing their declaration, compacting their exclusive-group
+// slot for reuse and dropping exactly the memoized probabilities that
+// mention a retired name. The caller owns the obligation that no stored
+// event expression still references a retired event — Prob of such an
+// expression fails with "not declared", the same as for a name that never
+// existed. Retiring a member of an exclusive group does not change the
+// probability of any expression over the remaining members (residual mass
+// is computed from mentioned members only), so churning context loaders can
+// retire a dead epoch's events without perturbing live rankings.
 type Space struct {
 	mu     sync.RWMutex
 	basics map[string]basicInfo
-	groups [][]string // group id -> member names
+	groups [][]string // group id -> member names; nil = retired slot
+	free   []int      // retired group slots available for reuse
 
 	cacheMu sync.Mutex
-	cache   map[string]float64
+	cache   map[string]cacheEntry
+	// gen counts invalidations (Retire, RetireGroup, DeclareExclusive).
+	// Prob snapshots it before enumerating and stores its result only if no
+	// invalidation intervened: without the guard, a probability computed
+	// just before a Retire could be memoized just after it, surviving the
+	// targeted invalidation and serving a stale value forever (e.g. across
+	// a retire/redeclare cycle that changed the probability). Guarded by
+	// cacheMu.
+	gen uint64
+}
+
+// cacheEntry memoizes one expression's probability together with the basic
+// events it mentions, so Retire can invalidate exactly the entries that a
+// retired name could affect.
+type cacheEntry struct {
+	p      float64
+	basics []string
 }
 
 // NewSpace returns an empty event space.
 func NewSpace() *Space {
 	return &Space{
 		basics: make(map[string]basicInfo),
-		cache:  make(map[string]float64),
+		cache:  make(map[string]cacheEntry),
 	}
 }
 
@@ -40,7 +70,8 @@ func NewSpace() *Space {
 // redeclaring with the same probability is a no-op (so loaders can be
 // idempotent).
 func (s *Space) Declare(name string, p float64) error {
-	if p < 0 || p > 1 {
+	// Positive form so NaN is rejected too.
+	if !(p >= 0 && p <= 1) {
 		return fmt.Errorf("event: probability %g of %q out of [0,1]", p, name)
 	}
 	s.mu.Lock()
@@ -52,7 +83,12 @@ func (s *Space) Declare(name string, p float64) error {
 		return fmt.Errorf("event: basic event %q already declared", name)
 	}
 	s.basics[name] = basicInfo{prob: p, group: -1}
-	s.invalidate()
+	// No memo invalidation: a fresh independent basic cannot change any
+	// existing expression's probability — expressions mentioning it errored
+	// before (errors are never cached), and expressions not mentioning it
+	// are unaffected by an independent addition. (Retire invalidated any
+	// older entries when this name was last retired, so a retire/redeclare
+	// cycle with a different probability is covered too.)
 	return nil
 }
 
@@ -67,10 +103,18 @@ func (s *Space) DeclareExclusive(names []string, probs []float64) error {
 		return fmt.Errorf("event: empty exclusive group")
 	}
 	sum := 0.0
+	dup := make(map[string]bool, len(names))
 	for i, p := range probs {
-		if p < 0 || p > 1 {
+		if !(p >= 0 && p <= 1) {
 			return fmt.Errorf("event: probability %g of %q out of [0,1]", p, names[i])
 		}
+		// A name repeated within one call would be stored once but counted
+		// once per occurrence by enumerate, double-counting its mass and
+		// over-subtracting the residual.
+		if dup[names[i]] {
+			return fmt.Errorf("event: duplicate name %q in exclusive group", names[i])
+		}
+		dup[names[i]] = true
 		sum += p
 	}
 	if sum > 1+1e-9 {
@@ -83,15 +127,99 @@ func (s *Space) DeclareExclusive(names []string, probs []float64) error {
 			return fmt.Errorf("event: basic event %q already declared", n)
 		}
 	}
-	gid := len(s.groups)
 	members := make([]string, len(names))
 	copy(members, names)
-	s.groups = append(s.groups, members)
+	var gid int
+	if n := len(s.free); n > 0 {
+		// Reuse a retired group slot so churning loaders do not grow the
+		// group table without bound.
+		gid = s.free[n-1]
+		s.free = s.free[:n-1]
+		s.groups[gid] = members
+	} else {
+		gid = len(s.groups)
+		s.groups = append(s.groups, members)
+	}
 	for i, n := range names {
 		s.basics[n] = basicInfo{prob: probs[i], group: gid}
 	}
 	s.invalidate()
 	return nil
+}
+
+// Retire removes previously declared basic events (independent or exclusive
+// group members). The call is atomic: if any name is not declared, nothing
+// is retired. A group whose last member is retired has its slot freed for
+// reuse by a later DeclareExclusive. Only memoized probabilities that
+// mention a retired name are invalidated; see the retirement contract on
+// Space for the caller's obligations.
+func (s *Space) Retire(names ...string) error {
+	if len(names) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	for _, n := range names {
+		if _, ok := s.basics[n]; !ok {
+			s.mu.Unlock()
+			return fmt.Errorf("event: cannot retire %q: not declared", n)
+		}
+	}
+	for _, n := range names {
+		info, ok := s.basics[n]
+		if !ok {
+			continue // duplicate name within this call
+		}
+		delete(s.basics, n)
+		if info.group >= 0 {
+			s.removeGroupMemberLocked(info.group, n)
+		}
+	}
+	s.mu.Unlock()
+	s.invalidateMentioning(names)
+	return nil
+}
+
+// RetireGroup retires every member of the exclusive group containing the
+// named event and frees the group's slot, returning the retired names. It
+// is an error if the name is not declared or is an independent event.
+func (s *Space) RetireGroup(member string) ([]string, error) {
+	s.mu.Lock()
+	info, ok := s.basics[member]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("event: cannot retire group of %q: not declared", member)
+	}
+	if info.group < 0 {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("event: %q is independent, not an exclusive-group member", member)
+	}
+	retired := s.groups[info.group]
+	for _, n := range retired {
+		delete(s.basics, n)
+	}
+	s.groups[info.group] = nil
+	s.free = append(s.free, info.group)
+	s.mu.Unlock()
+	s.invalidateMentioning(retired)
+	return retired, nil
+}
+
+// removeGroupMemberLocked drops one member from its group, freeing the slot
+// when the group empties. Caller holds s.mu.
+func (s *Space) removeGroupMemberLocked(gid int, name string) {
+	members := s.groups[gid]
+	for i, m := range members {
+		if m == name {
+			members = append(members[:i], members[i+1:]...)
+			break
+		}
+	}
+	if len(members) == 0 {
+		s.groups[gid] = nil
+		s.free = append(s.free, gid)
+		return
+	}
+	s.groups[gid] = members
 }
 
 // Declared reports whether name is a declared basic event.
@@ -123,7 +251,9 @@ type Decl struct {
 
 // Decls returns every declaration, grouped events first (ordered by group,
 // then by their position in the group), then independent events sorted by
-// name — an order that Restore-style loops can replay directly.
+// name — an order that Restore-style loops can replay directly. Retired
+// group slots are skipped; surviving groups keep their original ids, which
+// may therefore have gaps.
 func (s *Space) Decls() []Decl {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -150,9 +280,44 @@ func (s *Space) Len() int {
 	return len(s.basics)
 }
 
+// Groups returns the number of live (non-retired) exclusive groups.
+func (s *Space) Groups() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, members := range s.groups {
+		if len(members) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 func (s *Space) invalidate() {
 	s.cacheMu.Lock()
-	s.cache = make(map[string]float64)
+	s.cache = make(map[string]cacheEntry)
+	s.gen++
+	s.cacheMu.Unlock()
+}
+
+// invalidateMentioning drops exactly the memo entries whose expression
+// mentions one of the given basic names — entries over disjoint names keep
+// their cached probability, which retirement cannot have changed.
+func (s *Space) invalidateMentioning(names []string) {
+	dead := make(map[string]bool, len(names))
+	for _, n := range names {
+		dead[n] = true
+	}
+	s.cacheMu.Lock()
+	for key, ent := range s.cache {
+		for _, b := range ent.basics {
+			if dead[b] {
+				delete(s.cache, key)
+				break
+			}
+		}
+	}
+	s.gen++
 	s.cacheMu.Unlock()
 }
 
@@ -171,10 +336,11 @@ func (s *Space) Prob(e *Expr) (float64, error) {
 	}
 	key := e.String()
 	s.cacheMu.Lock()
-	if p, ok := s.cache[key]; ok {
+	if ent, ok := s.cache[key]; ok {
 		s.cacheMu.Unlock()
-		return p, nil
+		return ent.p, nil
 	}
+	gen := s.gen
 	s.cacheMu.Unlock()
 
 	p, err := s.enumerate(e)
@@ -182,7 +348,9 @@ func (s *Space) Prob(e *Expr) (float64, error) {
 		return 0, err
 	}
 	s.cacheMu.Lock()
-	s.cache[key] = p
+	if s.gen == gen {
+		s.cache[key] = cacheEntry{p: p, basics: e.Basics()}
+	}
 	s.cacheMu.Unlock()
 	return p, nil
 }

@@ -31,6 +31,17 @@ type Loader struct {
 	views    map[string]string // canonical expr -> view name
 	viewSQL  map[string]string // view name -> defining SQL (traceability)
 	seq      int
+
+	// Applied-situation bookkeeping, owned by situation.Context.Apply: the
+	// context concepts asserted and the basic events declared by the most
+	// recent apply on this loader. The next apply retracts those assertions
+	// and retires those events, which is what keeps the event space bounded
+	// under context churn. Guarded by its own mutex (reads may come from
+	// goroutines that never touch the vocabulary), though applies themselves
+	// are mutators and must be externally serialized like all others.
+	ctxMu       sync.Mutex
+	ctxConcepts []string
+	ctxEvents   []string
 }
 
 // NewLoader creates a loader over db with the given TBox (may be nil; a
@@ -62,6 +73,23 @@ func NewLoader(db *engine.DB, tbox *dl.TBox) *Loader {
 				l.concepts[row[1].S] = true
 			case "role":
 				l.roles[row[1].S] = true
+			}
+		}
+	}
+	// dl_ctx persists the applied-situation record (which concepts the last
+	// context apply asserted, which basic events it declared), so a system
+	// restored from a snapshot retracts and retires the snapshot's context
+	// on its first apply — including concepts asserted with certain
+	// measurements, which declare no events and could not be reconstructed
+	// from event names alone.
+	db.MustExec("CREATE TABLE IF NOT EXISTS dl_ctx (kind TEXT, name TEXT)")
+	if res, err := db.Query("SELECT kind, name FROM dl_ctx"); err == nil {
+		for _, row := range res.Rows {
+			switch row[0].S {
+			case "concept":
+				l.ctxConcepts = append(l.ctxConcepts, row[1].S)
+			case "event":
+				l.ctxEvents = append(l.ctxEvents, row[1].S)
 			}
 		}
 	}
@@ -283,6 +311,43 @@ func (l *Loader) ClearConcept(concept string) error {
 	}
 	tab.Delete(func(storage.Row) bool { return true })
 	return nil
+}
+
+// AppliedContext returns copies of the context concepts asserted and the
+// basic events declared by the most recent situation apply on this loader
+// (both empty for a fresh loader; situation.AdoptApplied seeds them after
+// a snapshot restore).
+func (l *Loader) AppliedContext() (concepts, events []string) {
+	l.ctxMu.Lock()
+	defer l.ctxMu.Unlock()
+	concepts = append([]string(nil), l.ctxConcepts...)
+	events = append([]string(nil), l.ctxEvents...)
+	return concepts, events
+}
+
+// SetAppliedContext replaces the applied-situation record. The situation
+// layer calls it at the end of every apply — with the new context's
+// vocabulary on success, or with the union of everything possibly still
+// asserted or declared when an apply fails partway, so the next apply can
+// finish the cleanup. The record is written through to the dl_ctx table so
+// it survives snapshot round trips (best-effort: an unwritable table only
+// degrades post-restore cleanup, never the live process).
+func (l *Loader) SetAppliedContext(concepts, events []string) {
+	l.ctxMu.Lock()
+	defer l.ctxMu.Unlock()
+	l.ctxConcepts = append([]string(nil), concepts...)
+	l.ctxEvents = append([]string(nil), events...)
+	tab, err := l.db.Catalog().Get("dl_ctx")
+	if err != nil {
+		return
+	}
+	tab.Delete(func(storage.Row) bool { return true })
+	for _, c := range concepts {
+		_ = l.db.InsertRow("dl_ctx", "concept", c)
+	}
+	for _, e := range events {
+		_ = l.db.InsertRow("dl_ctx", "event", e)
+	}
 }
 
 // ViewFor compiles a concept expression into a database view and returns

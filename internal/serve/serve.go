@@ -16,7 +16,10 @@
 //   - Sessions keeps one context per user and merges all user contexts
 //     into a single situation snapshot on every update, so many situated
 //     users can share one System. Each session carries a fingerprint of
-//     its measurements which keys that user's cache entries.
+//     its measurements which keys that user's cache entries. Every merged
+//     apply retires the previous snapshot's basic events from the event
+//     space, so session churn (updates and drops) cannot grow the space
+//     past the live vocabulary.
 //
 //   - Server adds an LRU rank-result cache keyed by (user, target,
 //     options, context fingerprint, epoch) with singleflight coalescing of

@@ -113,8 +113,13 @@ type Stats struct {
 	Rules         int          `json:"rules"`
 	Requests      int64        `json:"rank_requests"`
 	UptimeSeconds float64      `json:"uptime_seconds"`
-	Cache         CacheStats   `json:"cache"`
-	Latency       LatencyStats `json:"latency"`
+	// Events is the number of basic events currently declared in the
+	// system's event space. Under session churn it stays bounded by the
+	// live context vocabulary (each context apply retires the previous
+	// snapshot's events) — a growing value here means an event leak.
+	Events  int          `json:"events"`
+	Cache   CacheStats   `json:"cache"`
+	Latency LatencyStats `json:"latency"`
 }
 
 // Stats snapshots the server counters.
@@ -125,7 +130,9 @@ func (s *Server) Stats() Stats {
 		Rules:         s.facade.RuleCount(),
 		Requests:      s.requests.Load(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Latency:       s.latency.snapshot(),
+		// The space serializes its own reads, so no facade lock is needed.
+		Events:  s.facade.sys.DB().Space().Len(),
+		Latency: s.latency.snapshot(),
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.stats()

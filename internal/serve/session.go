@@ -22,6 +22,14 @@ type Measurement = situation.Measurement
 // all live sessions into one snapshot and applies it atomically under the
 // facade's write lock.
 //
+// Each merged apply also *retires* the previous snapshot's basic events
+// from the event space (situation.Apply tracks per loader what it declared
+// last time): a Set replaces the updated user's events, and a Drop retires
+// the dropped user's events with the same re-apply — dropping the last
+// session retires every session-declared event. The event space therefore
+// stays bounded by the live session vocabulary under arbitrary churn
+// instead of accumulating one epoch of ctx_* declarations per update.
+//
 // A successful session update normally does not bump the facade epoch: it
 // changes the updated user's context fingerprint instead, so only that
 // user's cached rankings are invalidated. One exception and two
@@ -160,7 +168,9 @@ func (s *Sessions) Set(user string, measurements []Measurement) (string, error) 
 }
 
 // Drop ends the user's session and re-applies the remaining sessions'
-// merged context. Dropping an unknown user is a no-op.
+// merged context, which retires the dropped user's basic events from the
+// event space along with the rest of the previous snapshot's. Dropping an
+// unknown user is a no-op.
 func (s *Sessions) Drop(user string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -259,7 +269,10 @@ func (s *Sessions) Count() int {
 }
 
 // applyMergedLocked builds one situation snapshot from every live session
-// and applies it under the facade's write lock. changed names the concepts
+// and applies it under the facade's write lock. The apply retracts the
+// previous merged snapshot and retires its basic events (see
+// situation.Context.Apply), so sessions that shrank or dropped since the
+// last apply leave nothing behind in the event space. changed names the concepts
 // whose assertions this operation adds, alters or retracts (the updated
 // user's old and new vocabulary) — used to decide whether the update
 // couples to other users through role edges. Callers hold s.mu; the lock

@@ -10,7 +10,8 @@ package situation
 import (
 	"fmt"
 	"math/rand"
-	"sync"
+	"regexp"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -95,44 +96,127 @@ func (c *Context) ConceptNames() []string {
 // epoch provides fresh basic-event names across repeated Apply calls.
 var epoch atomic.Int64
 
-// appliedConcepts remembers, per loader, which context concepts the last
-// Apply asserted, so the next Apply can retract assertions the new context
-// no longer makes.
-var appliedConcepts sync.Map // *mapping.Loader -> []string
+// ctxEventName parses the basic-event names Apply declares:
+// ctx_<epoch>_<measurement index>_<concept>.
+var ctxEventName = regexp.MustCompile(`^ctx_(\d+)_\d+_(.+)$`)
+
+// AdoptApplied prepares a loader restored from a snapshot for context
+// applies. The applied-context record itself survives the round trip
+// through the dl_ctx table (adopted by mapping.NewLoader); this function
+// advances the process-wide epoch counter past every restored ctx_* epoch
+// so fresh declarations can never collide with restored names, and — for
+// degraded snapshots whose dl_ctx record is missing — reconstructs the
+// record from the ctx_* event names so the events are still retired by the
+// first apply (certain-measurement concepts are not recoverable that way;
+// the dl_ctx record is the authoritative source).
+func AdoptApplied(l *mapping.Loader) {
+	var events, concepts []string
+	seen := make(map[string]bool)
+	for _, d := range l.DB().Space().Decls() {
+		m := ctxEventName.FindStringSubmatch(d.Name)
+		if m == nil {
+			continue
+		}
+		events = append(events, d.Name)
+		if e, err := strconv.ParseInt(m[1], 10, 64); err == nil {
+			for {
+				cur := epoch.Load()
+				if e <= cur || epoch.CompareAndSwap(cur, e) {
+					break
+				}
+			}
+		}
+		if c := m[2]; !seen[c] {
+			seen[c] = true
+			concepts = append(concepts, c)
+		}
+	}
+	if prevConcepts, prevEvents := l.AppliedContext(); len(prevConcepts) == 0 && len(prevEvents) == 0 && len(events) > 0 {
+		l.SetAppliedContext(concepts, events)
+	}
+}
 
 // Apply pushes the context into the loader: it declares the context
 // concepts, clears both their previous assertions and those of concepts the
 // previous context asserted (dynamic context is acquired anew at each
-// query, §5), declares fresh basic events carrying the measurement
+// query, §5), retires the previous apply's basic events from the event
+// space, declares fresh basic events carrying the measurement
 // probabilities, and asserts the memberships.
+//
+// The per-loader record of what the last apply asserted and declared lives
+// on the loader itself (Loader.AppliedContext / SetAppliedContext), so
+// repeated applies on one loader — including an empty context, the
+// "retract everything" case — keep the event space bounded by the live
+// vocabulary instead of accumulating one epoch of ctx_* declarations per
+// apply. On a mid-apply failure the record conservatively keeps the union
+// of everything possibly still asserted or declared; the next apply
+// finishes the cleanup.
 func (c *Context) Apply(l *mapping.Loader) error {
-	e := epoch.Add(1)
-	space := l.DB().Space()
-	toClear := make(map[string]bool)
-	if prev, ok := appliedConcepts.Load(l); ok {
-		for _, name := range prev.([]string) {
-			toClear[name] = true
+	for _, m := range c.Measurements {
+		// Positive form so NaN is rejected too (NaN fails every comparison,
+		// so `< 0 || > 1` would let it into the event space).
+		if !(m.Prob >= 0 && m.Prob <= 1) {
+			return fmt.Errorf("situation: measurement %s has probability %g", m.Concept, m.Prob)
 		}
 	}
-	for _, name := range c.ConceptNames() {
-		toClear[name] = true
+	e := epoch.Add(1)
+	space := l.DB().Space()
+	prevConcepts, prevEvents := l.AppliedContext()
+	newConcepts := c.ConceptNames()
+	seen := make(map[string]bool, len(prevConcepts)+len(newConcepts))
+	var toClear []string
+	for _, name := range append(append([]string(nil), prevConcepts...), newConcepts...) {
+		if !seen[name] {
+			seen[name] = true
+			toClear = append(toClear, name)
+		}
 	}
-	for name := range toClear {
+	// record saves the conservative failure state: every concept of the
+	// union that is actually declared (an undeclarable concept — e.g. a
+	// table-name collision — holds no assertions and must not poison later
+	// cleanup applies) plus the given still-declared events.
+	record := func(events []string) {
+		var kept []string
+		for _, name := range toClear {
+			if l.HasConcept(name) {
+				kept = append(kept, name)
+			}
+		}
+		l.SetAppliedContext(kept, events)
+	}
+	for _, name := range toClear {
 		if err := l.DeclareConcept(name); err != nil {
+			record(prevEvents)
 			return err
 		}
 		if err := l.ClearConcept(name); err != nil {
+			record(prevEvents)
 			return err
 		}
 	}
-	appliedConcepts.Store(l, c.ConceptNames())
+	// Every previous assertion is gone, so the previous epoch's events are
+	// unreferenced: retire them before declaring this epoch's. Events
+	// already gone (retired externally) are skipped rather than failing the
+	// apply.
+	live := prevEvents[:0]
+	for _, n := range prevEvents {
+		if space.Declared(n) {
+			live = append(live, n)
+		}
+	}
+	if err := space.Retire(live...); err != nil {
+		record(live)
+		return err
+	}
+	var declared []string
+	fail := func(err error) error {
+		record(declared)
+		return err
+	}
 	// Group measurements by exclusivity label.
 	groups := make(map[string][]int)
 	var order []string
 	for i, m := range c.Measurements {
-		if m.Prob < 0 || m.Prob > 1 {
-			return fmt.Errorf("situation: measurement %s has probability %g", m.Concept, m.Prob)
-		}
 		groups[m.Exclusive] = append(groups[m.Exclusive], i)
 		if len(groups[m.Exclusive]) == 1 && m.Exclusive != "" {
 			order = append(order, m.Exclusive)
@@ -149,18 +233,19 @@ func (c *Context) Apply(l *mapping.Loader) error {
 	// Independent measurements.
 	for _, i := range groups[""] {
 		m := c.Measurements[i]
-		name := fmt.Sprintf("ctx_%d_%d_%s", e, i, m.Concept)
 		if m.Prob == 1 {
 			if err := assert(i, event.True()); err != nil {
-				return err
+				return fail(err)
 			}
 			continue
 		}
+		name := fmt.Sprintf("ctx_%d_%d_%s", e, i, m.Concept)
 		if err := space.Declare(name, m.Prob); err != nil {
-			return err
+			return fail(err)
 		}
+		declared = append(declared, name)
 		if err := assert(i, event.Basic(name)); err != nil {
-			return err
+			return fail(err)
 		}
 	}
 	// Exclusive groups.
@@ -173,14 +258,16 @@ func (c *Context) Apply(l *mapping.Loader) error {
 			probs[j] = c.Measurements[i].Prob
 		}
 		if err := space.DeclareExclusive(names, probs); err != nil {
-			return fmt.Errorf("situation: group %q: %w", g, err)
+			return fail(fmt.Errorf("situation: group %q: %w", g, err))
 		}
+		declared = append(declared, names...)
 		for j, i := range idxs {
 			if err := assert(i, event.Basic(names[j])); err != nil {
-				return err
+				return fail(err)
 			}
 		}
 	}
+	l.SetAppliedContext(newConcepts, declared)
 	return nil
 }
 

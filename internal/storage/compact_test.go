@@ -1,0 +1,129 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDeleteCompactsTombstones: a clear/refill churn loop (the context-
+// concept pattern) must not accumulate dead rows or index garbage.
+func TestDeleteCompactsTombstones(t *testing.T) {
+	schema, err := NewSchema(Column{Name: "id", Type: TypeText})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable("churn", schema)
+	if err := tab.CreateIndex("id"); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 10; i++ {
+			if err := tab.Insert(Row{Text(fmt.Sprintf("r%d", i))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := tab.Len(); got != 10 {
+			t.Fatalf("round %d: Len = %d, want 10", round, got)
+		}
+		rows, err := tab.Lookup("id", Text("r3"))
+		if err != nil || len(rows) != 1 {
+			t.Fatalf("round %d: lookup = %v, %v", round, rows, err)
+		}
+		if n := tab.Delete(func(Row) bool { return true }); n != 10 {
+			t.Fatalf("round %d: deleted %d, want 10", round, n)
+		}
+	}
+	tab.mu.RLock()
+	heap, tombs := len(tab.rows), len(tab.deleted)
+	tab.mu.RUnlock()
+	if heap != 0 || tombs != 0 {
+		t.Fatalf("heap holds %d rows and %d tombstones after churn, want 0/0", heap, tombs)
+	}
+}
+
+// TestScanConcurrentWithDelete: Scan iterates lock-free over snapshot
+// references, so Delete must never mutate the maps/slices a running scan
+// holds (copy-on-write tombstones, freshly allocated compactions). Run
+// with -race.
+func TestScanConcurrentWithDelete(t *testing.T) {
+	schema, err := NewSchema(Column{Name: "id", Type: TypeText})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable("t", schema)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for round := 0; round < 300; round++ {
+			for i := 0; i < 20; i++ {
+				if err := tab.Insert(Row{Text(fmt.Sprintf("r%d", i))}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			tab.Delete(func(Row) bool { return true })
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		n := 0
+		if err := tab.Scan(func(Row) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if n > 20 {
+			t.Fatalf("scan saw %d rows, more than ever live", n)
+		}
+	}
+}
+
+// TestPartialDeleteKeepsOrderAcrossCompaction: compaction renumbers rows
+// but must preserve insertion order and index correctness.
+func TestPartialDeleteKeepsOrderAcrossCompaction(t *testing.T) {
+	schema, err := NewSchema(Column{Name: "n", Type: TypeInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable("t", schema)
+	if err := tab.CreateIndex("n"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tab.Insert(Row{Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete the even rows: 50 tombstones vs 50 live triggers no compaction
+	// (dead must exceed live); one more delete tips it over.
+	if n := tab.Delete(func(r Row) bool { return r[0].I%2 == 0 }); n != 50 {
+		t.Fatalf("deleted %d, want 50", n)
+	}
+	if n := tab.Delete(func(r Row) bool { return r[0].I == 1 }); n != 1 {
+		t.Fatalf("deleted %d, want 1", n)
+	}
+	tab.mu.RLock()
+	heap := len(tab.rows)
+	tab.mu.RUnlock()
+	if heap != 49 {
+		t.Fatalf("heap = %d rows after compaction, want 49", heap)
+	}
+	var got []int64
+	if err := tab.Scan(func(r Row) error {
+		got = append(got, r[0].I)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if want := int64(2*i + 3); v != want {
+			t.Fatalf("row %d = %d, want %d (order lost)", i, v, want)
+		}
+	}
+	rows, err := tab.Lookup("n", Int(99))
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("post-compaction lookup = %v, %v", rows, err)
+	}
+}

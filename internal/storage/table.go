@@ -208,57 +208,97 @@ func (t *Table) Lookup(column string, v Value) ([]Row, error) {
 
 // Update rewrites every live row for which match returns true by calling
 // apply on a clone; the returned row is coerced to the schema. It reports
-// how many rows changed.
+// how many rows changed. Like Delete, it copy-on-writes the row heap: a
+// concurrent lock-free Scan keeps iterating its own consistent snapshot.
 func (t *Table) Update(match func(Row) bool, apply func(Row) (Row, error)) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	n := 0
+	replacement := make(map[int]Row)
 	for id, r := range t.rows {
 		if t.deleted[id] || !match(r) {
 			continue
 		}
 		updated, err := apply(r.Clone())
 		if err != nil {
-			return n, err
+			return 0, err
 		}
 		if len(updated) != t.schema.Arity() {
-			return n, fmt.Errorf("storage: update of table %s produced %d values, want %d", t.name, len(updated), t.schema.Arity())
+			return 0, fmt.Errorf("storage: update of table %s produced %d values, want %d", t.name, len(updated), t.schema.Arity())
 		}
 		coerced := make(Row, len(updated))
 		for i, v := range updated {
 			cv, err := v.CoerceTo(t.schema.Columns[i].Type)
 			if err != nil {
-				return n, fmt.Errorf("storage: table %s column %s: %w", t.name, t.schema.Columns[i].Name, err)
+				return 0, fmt.Errorf("storage: table %s column %s: %w", t.name, t.schema.Columns[i].Name, err)
 			}
 			coerced[i] = cv
 		}
-		t.rows[id] = coerced
-		n++
+		replacement[id] = coerced
 	}
-	if n > 0 {
-		t.rebuildIndexesLocked()
+	if len(replacement) == 0 {
+		return 0, nil
 	}
-	return n, nil
+	rows := make([]Row, len(t.rows))
+	copy(rows, t.rows)
+	for id, r := range replacement {
+		rows[id] = r
+	}
+	t.rows = rows
+	t.rebuildIndexesLocked()
+	return len(replacement), nil
 }
 
 // Delete removes every live row for which match returns true and reports
-// how many were removed.
+// how many were removed. Once tombstones outnumber live rows the heap is
+// compacted, so a table that is repeatedly cleared and refilled (context
+// concepts under session churn) stays bounded by its live size instead of
+// accumulating its whole delete history.
 func (t *Table) Delete(match func(Row) bool) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	n := 0
+	var marked []int
 	for id, r := range t.rows {
 		if t.deleted[id] || !match(r) {
 			continue
 		}
-		t.deleted[id] = true
-		t.nLive--
-		n++
+		marked = append(marked, id)
 	}
-	if n > 0 {
-		t.rebuildIndexesLocked()
+	if len(marked) == 0 {
+		return 0
 	}
-	return n
+	// Copy-on-write: Scan iterates lock-free over a snapshot reference to
+	// the deleted map, so tombstones go into a fresh map rather than the
+	// one a concurrent scanner may hold.
+	tombs := make(map[int]bool, len(t.deleted)+len(marked))
+	for id := range t.deleted {
+		tombs[id] = true
+	}
+	for _, id := range marked {
+		tombs[id] = true
+	}
+	t.deleted = tombs
+	t.nLive -= len(marked)
+	if dead := len(t.rows) - t.nLive; dead > t.nLive {
+		t.compactLocked()
+	}
+	t.rebuildIndexesLocked()
+	return len(marked)
+}
+
+// compactLocked drops tombstoned rows, renumbering the live ones in
+// insertion order. Fresh slices/maps are allocated rather than filtered in
+// place: Scan iterates lock-free over snapshot references to rows and
+// deleted, which must stay internally consistent. Caller holds t.mu and
+// rebuilds indexes afterwards.
+func (t *Table) compactLocked() {
+	live := make([]Row, 0, t.nLive)
+	for id, r := range t.rows {
+		if !t.deleted[id] {
+			live = append(live, r)
+		}
+	}
+	t.rows = live
+	t.deleted = make(map[int]bool)
 }
 
 func (t *Table) rebuildIndexesLocked() {
