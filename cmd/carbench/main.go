@@ -15,16 +15,21 @@
 // serve: load-generate the internal/serve layer over HTTP — N goroutine
 // clients with per-user session contexts ranking the TV-watcher dataset
 // against cmd/carserved's stack in-process (-clients, -benchdur, -churn,
-// -assertevery, -cachesize, -ctxprob). Reports a memory column (heap and
-// event-space size before/after) — with -churn and -ctxprob < 1 it shows
-// event retirement holding the space bounded. Not part of -exp all: it is
-// a throughput demonstration, not a paper reproduction.
+// -assertevery, -cachesize, -ctxprob, -shards). Reports a memory column
+// (heap and event-space size before/after) — with -churn and -ctxprob < 1
+// it shows event retirement holding the space bounded. With a
+// comma-separated -shards list (e.g. -shards 1,2,4,8) it runs the sharded
+// coordinator at each count under a mixed apply+rank workload and prints
+// the req/s scaling curve with a cross-shard-broadcast latency column.
+// Not part of -exp all: it is a throughput demonstration, not a paper
+// reproduction.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -41,6 +46,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "random seed for synthetic histories")
 
 		clients     = flag.Int("clients", 16, "serve: concurrent goroutine clients")
+		shardList   = flag.String("shards", "1", "serve: shard count, or comma-separated counts (1,2,4,8) for the scaling curve")
 		benchdur    = flag.Duration("benchdur", 5*time.Second, "serve: load-generation duration")
 		churn       = flag.Int("churn", 0, "serve: session context update every N ranks per client (0 = never)")
 		assertevery = flag.Duration("assertevery", 0, "serve: background fact-assertion interval bumping the epoch (0 = off)")
@@ -131,8 +137,9 @@ func main() {
 
 	if strings.EqualFold(*exp, "serve") {
 		ran = true
-		section("SERVE — internal/serve concurrent ranking service under HTTP load")
-		err := runServeLoadgen(loadgenConfig{
+		counts, err := parseShardList(*shardList)
+		exitOn(err)
+		cfg := loadgenConfig{
 			Spec:        spec,
 			Rules:       *maxRules,
 			Clients:     *clients,
@@ -141,8 +148,23 @@ func main() {
 			AssertEvery: *assertevery,
 			CacheSize:   *cachesize,
 			CtxProb:     *ctxprob,
-		})
-		exitOn(err)
+		}
+		if len(counts) > 1 {
+			// The curve needs enough concurrent sessions to expose apply
+			// contention; raise the client default unless set explicitly.
+			explicit := map[string]bool{}
+			flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+			if !explicit["clients"] {
+				cfg.Clients = 128
+			}
+			section("SERVE — shard scaling curve under mixed apply+rank HTTP load")
+			exitOn(runServeShardCurve(cfg, counts))
+		} else {
+			section("SERVE — internal/serve concurrent ranking service under HTTP load")
+			cfg.Shards = counts[0]
+			_, err := runServeLoadgen(cfg)
+			exitOn(err)
+		}
 	}
 
 	if !ran {
@@ -150,6 +172,21 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// parseShardList parses the -shards value: one count, or a comma list for
+// the scaling curve.
+func parseShardList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -shards value %q (want a positive count or a comma list like 1,2,4,8)", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func section(title string) {

@@ -1,18 +1,32 @@
-// Command carserved is the context-aware ranking daemon: it wraps a
-// contextrank.System in the internal/serve layer (locking facade, per-user
-// sessions, epoch-invalidated rank cache) and exposes the HTTP/JSON API
+// Command carserved is the context-aware ranking daemon: it wraps N shard
+// replicas of a contextrank.System in the internal/serve + serve/shard
+// layers (per-shard locking facade, per-user sessions, epoch-invalidated
+// rank caches, consistent-hash routing) and exposes the HTTP/JSON API
 // documented on serve.Handler.
 //
 // Usage:
 //
-//	carserved [-addr :8372] [-cache 1024] [-preload none|small|paper] [-rules 4]
+//	carserved [-addr :8372] [-shards 4] [-cache 1024] [-snapdir dir]
+//	          [-preload none|small|paper] [-rules 4]
+//
+// With -shards N every per-user operation (session applies, ranks) is
+// served by the user's shard alone — one user's context apply never
+// blocks another user's rank on a different shard — while vocabulary
+// writes (declare/assert/rules/exec) are broadcast to all shards.
+//
+// With -snapdir the daemon saves one snapshot per shard (engine.Dump via
+// the serve layer, session context excluded) on SIGTERM/SIGINT, and
+// restores from that directory on the next boot instead of preloading.
+// The shard count may change between runs: broadcast replication makes
+// any shard's snapshot a full copy of the durable state, so a reboot with
+// a different -shards value is an online reshard.
 //
 // With -preload the daemon starts already loaded with the paper's §5
 // TV-watcher database (small = scaled-down test sizes, paper = ~11k
 // tuples) and the scalability rule series, so a load generator — e.g.
 // `carbench -exp serve` — can rank immediately:
 //
-//	carserved -preload small -rules 4 &
+//	carserved -preload small -rules 4 -shards 4 &
 //	curl -X PUT localhost:8372/v1/sessions/person0000/context \
 //	     -d '{"measurements":[{"concept":"BenchCtx0","prob":1}]}'
 //	curl 'localhost:8372/v1/rank?user=person0000&target=TvProgram&limit=3'
@@ -20,8 +34,8 @@
 // Session updates whose measurements carry uncertainty (prob < 1, or
 // exclusive groups) declare fresh basic events on every apply; each apply
 // also retires the previous snapshot's events (event.Space.Retire), so the
-// event space — observable as "events" on /v1/stats — stays bounded by the
-// live session vocabulary under arbitrary churn.
+// event space — observable as "events" on /v1/stats, summed across shards
+// — stays bounded by the live session vocabulary under arbitrary churn.
 package main
 
 import (
@@ -38,32 +52,38 @@ import (
 
 	contextrank "repro"
 	"repro/internal/serve"
+	"repro/internal/serve/shard"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
 		addr    = flag.String("addr", ":8372", "listen address")
-		cache   = flag.Int("cache", serve.DefaultCacheSize, "rank cache capacity in entries (-1 disables caching)")
-		preload = flag.String("preload", "none", "preload dataset: none, small or paper")
+		shards  = flag.Int("shards", 1, "shard replicas; per-user traffic is routed by consistent hash of the user ID")
+		cache   = flag.Int("cache", serve.DefaultCacheSize, "per-shard rank cache capacity in entries (-1 disables caching)")
+		snapdir = flag.String("snapdir", "", "snapshot directory: restore from it on boot (if present), save per-shard snapshots into it on shutdown")
+		preload = flag.String("preload", "none", "preload dataset: none, small or paper (ignored when restoring from -snapdir)")
 		rules   = flag.Int("rules", 4, "preference rules to register with -preload")
 	)
 	flag.Parse()
 
-	sys := contextrank.NewSystem()
-	if err := preloadDataset(sys, *preload, *rules); err != nil {
+	build, source, err := buildFunc(*snapdir, *preload, *rules)
+	if err != nil {
+		log.Fatalf("carserved: %v", err)
+	}
+	coord, err := shard.New(*shards, build, serve.Options{CacheSize: *cache})
+	if err != nil {
 		log.Fatalf("carserved: %v", err)
 	}
 
-	srv := serve.NewServer(sys, serve.Options{CacheSize: *cache})
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.NewHandler(srv),
+		Handler:           serve.NewHandlerFor(coord),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
 	go func() {
-		log.Printf("carserved: listening on %s (preload=%s cache=%d)", *addr, *preload, *cache)
+		log.Printf("carserved: listening on %s (shards=%d %s cache=%d)", *addr, *shards, source, *cache)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("carserved: %v", err)
 		}
@@ -78,31 +98,54 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("carserved: shutdown: %v", err)
 	}
-	st := srv.Stats()
-	log.Printf("carserved: served %d rank requests, cache %s, epoch %d",
-		st.Requests, st.Cache, st.Epoch)
+	if *snapdir != "" {
+		if err := coord.SaveSnapshots(*snapdir); err != nil {
+			log.Fatalf("carserved: saving snapshots: %v", err)
+		}
+		log.Printf("carserved: saved %d shard snapshot(s) to %s", coord.N(), *snapdir)
+	}
+	st := coord.Stats()
+	log.Printf("carserved: served %d rank requests across %d shards, cache %s, epoch %d",
+		st.Requests, coord.N(), st.Cache, st.Epoch)
+	for i, sh := range st.Shards {
+		log.Printf("carserved: shard %d: %d requests, %d sessions, %d events, epoch %d",
+			i, sh.Requests, sh.Sessions, sh.Events, sh.Epoch)
+	}
 }
 
-// preloadDataset fills the system with the §5 TV-watcher database and the
-// scalability rule series. The BenchCtx concepts the rules reference are
-// declared up front so rankings work before any session asserts them.
-func preloadDataset(sys *contextrank.System, preload string, k int) error {
+// buildFunc picks the per-shard System source: a snapshot restore when
+// snapdir holds one, the preloaded dataset otherwise. source describes the
+// choice for the startup log line.
+func buildFunc(snapdir, preload string, rules int) (build func(int) (*contextrank.System, error), source string, err error) {
+	if snapdir != "" && shard.HasSnapshots(snapdir) {
+		build, saved, err := shard.RestoreBuilder(snapdir)
+		if err != nil {
+			return nil, "", err
+		}
+		return build, fmt.Sprintf("restore=%s(saved-shards=%d)", snapdir, saved), nil
+	}
 	var spec workload.Spec
 	switch preload {
 	case "none":
-		return nil
+		return func(int) (*contextrank.System, error) { return contextrank.NewSystem(), nil }, "preload=none", nil
 	case "small":
 		spec = workload.SmallSpec()
 	case "paper":
 		spec = workload.DefaultSpec()
 	default:
-		return fmt.Errorf("unknown -preload %q (want none, small or paper)", preload)
+		return nil, "", fmt.Errorf("unknown -preload %q (want none, small or paper)", preload)
 	}
-	d, err := workload.LoadBench(sys.Loader(), sys.Rules(), spec, k)
-	if err != nil {
-		return err
+	build = func(i int) (*contextrank.System, error) {
+		sys := contextrank.NewSystem()
+		d, err := workload.LoadBench(sys.Loader(), sys.Rules(), spec, rules)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			log.Printf("carserved: preloading %d tuples (%d persons, %d programs), %d rules per shard",
+				d.TupleCount, spec.Persons, spec.Programs, rules)
+		}
+		return sys, nil
 	}
-	log.Printf("carserved: preloaded %d tuples (%d persons, %d programs), %d rules",
-		d.TupleCount, spec.Persons, spec.Programs, k)
-	return nil
+	return build, "preload=" + preload, nil
 }

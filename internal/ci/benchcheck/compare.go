@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkServeRankCached/cached-8   1964382   610.8 ns/op   96 B/op ...
+//
+// The trailing -N is the GOMAXPROCS suffix; both files come from the same
+// machine in CI, so names compare equal including it.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+(?:e[+-]?[0-9]+)?) ns/op`)
+
+// Report is the JSON shape of one comparison (the BENCH_serve.json
+// artifact).
+type Report struct {
+	Threshold  float64  `json:"threshold"`
+	Benchmarks []Result `json:"benchmarks"`
+	// OnlyOld / OnlyNew list benchmarks without a counterpart; they are
+	// informational and never fail the check.
+	OnlyOld     []string `json:"only_old,omitempty"`
+	OnlyNew     []string `json:"only_new,omitempty"`
+	Regressions []string `json:"regressions"`
+}
+
+// Result compares one benchmark's median ns/op across the two files.
+type Result struct {
+	Name       string  `json:"name"`
+	OldNsOp    float64 `json:"old_ns_op"`
+	NewNsOp    float64 `json:"new_ns_op"`
+	Delta      float64 `json:"delta"` // (new-old)/old; positive = slower
+	Regression bool    `json:"regression"`
+}
+
+// Compare parses two bench outputs and flags every benchmark whose median
+// ns/op grew by more than threshold.
+func Compare(oldData, newData []byte, threshold float64) (Report, error) {
+	oldMed, err := medians(oldData)
+	if err != nil {
+		return Report{}, fmt.Errorf("baseline: %w", err)
+	}
+	newMed, err := medians(newData)
+	if err != nil {
+		return Report{}, fmt.Errorf("candidate: %w", err)
+	}
+	if len(oldMed) == 0 && len(newMed) == 0 {
+		return Report{}, fmt.Errorf("no benchmark results in either file")
+	}
+	rep := Report{Threshold: threshold, Regressions: []string{}}
+	for _, name := range sortedKeys(oldMed) {
+		if _, ok := newMed[name]; !ok {
+			rep.OnlyOld = append(rep.OnlyOld, name)
+		}
+	}
+	for _, name := range sortedKeys(newMed) {
+		old, ok := oldMed[name]
+		if !ok {
+			rep.OnlyNew = append(rep.OnlyNew, name)
+			continue
+		}
+		r := Result{Name: name, OldNsOp: old, NewNsOp: newMed[name]}
+		if old > 0 {
+			r.Delta = (r.NewNsOp - old) / old
+		}
+		r.Regression = r.Delta > threshold
+		if r.Regression {
+			rep.Regressions = append(rep.Regressions, name)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
+	return rep, nil
+}
+
+// medians collects each benchmark's median ns/op over its -count
+// repetitions.
+func medians(data []byte) (map[string]float64, error) {
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		samples[m[1]] = append(samples[m[1]], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(samples))
+	for name, xs := range samples {
+		sort.Float64s(xs)
+		n := len(xs)
+		if n%2 == 1 {
+			out[name] = xs[n/2]
+		} else {
+			out[name] = (xs[n/2-1] + xs[n/2]) / 2
+		}
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

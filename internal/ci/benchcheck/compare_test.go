@@ -1,0 +1,80 @@
+package main
+
+import "testing"
+
+const baseline = `
+goos: linux
+BenchmarkServeRankCached/cached-8     1000000    600 ns/op
+BenchmarkServeRankCached/cached-8     1000000    610 ns/op
+BenchmarkServeRankCached/cached-8     1000000   9999 ns/op
+BenchmarkServeRankConcurrent/sessions=4-8   50000   2000 ns/op
+BenchmarkServeRankConcurrent/sessions=4-8   50000   2100 ns/op
+BenchmarkGone-8   1   100 ns/op
+PASS
+`
+
+func TestCompareWithinBudget(t *testing.T) {
+	candidate := `
+BenchmarkServeRankCached/cached-8     1000000    650 ns/op
+BenchmarkServeRankCached/cached-8     1000000    640 ns/op
+BenchmarkServeRankConcurrent/sessions=4-8   50000   2050 ns/op
+BenchmarkFresh-8   1   1 ns/op
+`
+	rep, err := Compare([]byte(baseline), []byte(candidate), 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("regressions = %v, want none", rep.Regressions)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("compared %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	// The baseline median of cached is 610 (the 9999 outlier must not
+	// drag the median); 645/610 ≈ +5.7%.
+	for _, b := range rep.Benchmarks {
+		if b.Name == "BenchmarkServeRankCached/cached-8" {
+			if b.OldNsOp != 610 {
+				t.Fatalf("baseline median = %g, want 610 (outlier-robust)", b.OldNsOp)
+			}
+			if b.Delta < 0.05 || b.Delta > 0.07 {
+				t.Fatalf("delta = %g, want ≈0.057", b.Delta)
+			}
+		}
+	}
+	if len(rep.OnlyOld) != 1 || rep.OnlyOld[0] != "BenchmarkGone-8" {
+		t.Fatalf("only_old = %v", rep.OnlyOld)
+	}
+	if len(rep.OnlyNew) != 1 || rep.OnlyNew[0] != "BenchmarkFresh-8" {
+		t.Fatalf("only_new = %v", rep.OnlyNew)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	candidate := `
+BenchmarkServeRankCached/cached-8     1000000    800 ns/op
+BenchmarkServeRankConcurrent/sessions=4-8   50000   2050 ns/op
+`
+	rep, err := Compare([]byte(baseline), []byte(candidate), 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0] != "BenchmarkServeRankCached/cached-8" {
+		t.Fatalf("regressions = %v, want the cached benchmark (800 vs 610 = +31%%)", rep.Regressions)
+	}
+}
+
+func TestCompareScientificNotationAndEmpty(t *testing.T) {
+	if _, err := Compare([]byte("no benches here"), []byte(""), 0.2); err == nil {
+		t.Fatal("empty inputs accepted")
+	}
+	rep, err := Compare(
+		[]byte("BenchmarkBig-8  1  1.5e+06 ns/op"),
+		[]byte("BenchmarkBig-8  1  1.6e+06 ns/op"), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].OldNsOp != 1.5e6 {
+		t.Fatalf("scientific notation parsed as %+v", rep.Benchmarks)
+	}
+}

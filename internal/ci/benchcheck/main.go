@@ -1,0 +1,80 @@
+// Command benchcheck compares two `go test -bench` output files and fails
+// (exit 1) when any benchmark regressed beyond a threshold. CI's
+// bench-regression job runs it next to benchstat: benchstat renders the
+// human-readable comparison, benchcheck is the machine gate — it takes the
+// per-benchmark median ns/op over the -count repetitions (robust against
+// one noisy run, no statistics dependency) and emits a JSON report that
+// the workflow uploads as the BENCH_serve.json artifact.
+//
+// Usage:
+//
+//	benchcheck -old main.txt -new pr.txt [-threshold 0.20] [-json out.json]
+//
+// Benchmarks present in only one file are reported but never fail the
+// check (new benchmarks have no baseline; deleted ones have no new value).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "baseline bench output (main branch)")
+		newPath   = flag.String("new", "", "candidate bench output (PR branch)")
+		threshold = flag.Float64("threshold", 0.20, "maximum tolerated fractional ns/op increase")
+		jsonPath  = flag.String("json", "", "write the JSON report here (default stdout)")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: need -old and -new")
+		os.Exit(2)
+	}
+	oldData, err := os.ReadFile(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	newData, err := os.ReadFile(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	report, err := Compare(oldData, newData, *threshold)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	out = append(out, '\n')
+	if *jsonPath != "" {
+		if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		os.Stdout.Write(out)
+	}
+	for _, b := range report.Benchmarks {
+		mark := " "
+		if b.Regression {
+			mark = "!"
+		}
+		fmt.Fprintf(os.Stderr, "%s %-60s %12.0f → %12.0f ns/op (%+.1f%%)\n",
+			mark, b.Name, b.OldNsOp, b.NewNsOp, 100*b.Delta)
+	}
+	if n := len(report.Regressions); n > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d benchmark(s) regressed more than %.0f%%: %v\n",
+			n, 100**threshold, report.Regressions)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchcheck: %d benchmark(s) within the %.0f%% budget\n",
+		len(report.Benchmarks), 100**threshold)
+}

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	contextrank "repro"
 )
@@ -69,6 +70,11 @@ type flight struct {
 }
 
 // rankCache is an LRU of rank results with singleflight miss coalescing.
+//
+// The effectiveness counters (and the size mirror) are atomics rather than
+// mu-guarded fields so stats() never touches c.mu: the mutex is contended
+// by every rank request, and a /v1/stats scrape must not queue behind —
+// or stall — rank traffic.
 type rankCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -76,10 +82,11 @@ type rankCache struct {
 	items    map[string]*list.Element // key -> *cacheEntry element
 	flights  map[string]*flight
 
-	hits      int64
-	misses    int64
-	coalesced int64
-	evicted   int64
+	size      atomic.Int64 // mirrors ll.Len(), maintained under c.mu
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evicted   atomic.Int64
 }
 
 func newRankCache(capacity int) *rankCache {
@@ -119,8 +126,9 @@ func (c *rankCache) addLocked(key string, res []contextrank.Result, epoch int64)
 		back := c.ll.Back()
 		c.ll.Remove(back)
 		delete(c.items, back.Value.(*cacheEntry).key)
-		c.evicted++
+		c.evicted.Add(1)
 	}
+	c.size.Store(int64(c.ll.Len()))
 }
 
 // do returns the cached result for key or computes it once, coalescing
@@ -138,7 +146,7 @@ func (c *rankCache) do(key string, compute func() (res []contextrank.Result, sto
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		c.hits++
+		c.hits.Add(1)
 		// Copy before unlocking: addLocked may rewrite the entry in
 		// place under c.mu, racing an unlocked field read.
 		ent := el.Value.(*cacheEntry)
@@ -147,7 +155,7 @@ func (c *rankCache) do(key string, compute func() (res []contextrank.Result, sto
 		return res, epoch, true, nil
 	}
 	if fl, ok := c.flights[key]; ok {
-		c.coalesced++
+		c.coalesced.Add(1)
 		c.mu.Unlock()
 		fl.wg.Wait()
 		return fl.res, fl.epoch, true, fl.err
@@ -155,7 +163,7 @@ func (c *rankCache) do(key string, compute func() (res []contextrank.Result, sto
 	fl := &flight{}
 	fl.wg.Add(1)
 	c.flights[key] = fl
-	c.misses++
+	c.misses.Add(1)
 	c.mu.Unlock()
 
 	res, storeKey, epoch, err := compute()
@@ -190,21 +198,40 @@ type CacheStats struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
+// stats snapshots the counters without taking c.mu, so a stats scrape
+// never queues behind rank traffic holding the cache mutex. The fields
+// are read independently and may be mutually inconsistent by a request
+// or two; effectiveness ratios do not care.
 func (c *rankCache) stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := CacheStats{
-		Size:      c.ll.Len(),
+		Size:      int(c.size.Load()),
 		Capacity:  c.capacity,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Coalesced: c.coalesced,
-		Evicted:   c.evicted,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evicted:   c.evicted.Load(),
 	}
 	if total := s.Hits + s.Misses + s.Coalesced; total > 0 {
 		s.HitRate = float64(s.Hits+s.Coalesced) / float64(total)
 	}
 	return s
+}
+
+// Merge sums two caches' counters — the shard coordinator uses it to
+// aggregate per-shard caches — and recomputes the combined hit rate.
+func (s CacheStats) Merge(o CacheStats) CacheStats {
+	out := CacheStats{
+		Size:      s.Size + o.Size,
+		Capacity:  s.Capacity + o.Capacity,
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Coalesced: s.Coalesced + o.Coalesced,
+		Evicted:   s.Evicted + o.Evicted,
+	}
+	if total := out.Hits + out.Misses + out.Coalesced; total > 0 {
+		out.HitRate = float64(out.Hits+out.Coalesced) / float64(total)
+	}
+	return out
 }
 
 func (s CacheStats) String() string {

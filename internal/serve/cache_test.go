@@ -113,13 +113,7 @@ func TestRankCacheSingleflightCoalesces(t *testing.T) {
 		go launch(i)
 	}
 	// Wait until all waiters are registered on the flight before releasing.
-	for {
-		c.mu.Lock()
-		n := c.coalesced
-		c.mu.Unlock()
-		if n == waiters {
-			break
-		}
+	for c.coalesced.Load() != waiters {
 	}
 	close(gate)
 	wg.Wait()

@@ -7,16 +7,18 @@ import (
 	"net/http"
 	"strconv"
 
-	contextrank "repro"
 	"repro/internal/sql"
 	"repro/internal/storage"
+
+	contextrank "repro"
 )
 
 // maxBodyBytes bounds request bodies; context updates and rule batches are
 // small, and the limit keeps a misbehaving client from ballooning memory.
 const maxBodyBytes = 1 << 20
 
-// Handler is the HTTP/JSON front-end over a Server (net/http only).
+// Handler is the HTTP/JSON front-end over a serving Backend — a single
+// *Server or a sharded shard.Coordinator (net/http only).
 //
 // Endpoints:
 //
@@ -35,12 +37,15 @@ const maxBodyBytes = 1 << 20
 //	GET    /v1/stats                    server statistics
 //	GET    /healthz                     liveness
 type Handler struct {
-	srv *Server
+	srv Backend
 	mux *http.ServeMux
 }
 
-// NewHandler builds the HTTP API over the server.
-func NewHandler(srv *Server) *Handler {
+// NewHandler builds the HTTP API over a single server.
+func NewHandler(srv *Server) *Handler { return NewHandlerFor(srv) }
+
+// NewHandlerFor builds the HTTP API over any serving backend.
+func NewHandlerFor(srv Backend) *Handler {
 	h := &Handler{srv: srv, mux: http.NewServeMux()}
 	h.mux.HandleFunc("POST /v1/declare", h.declare)
 	h.mux.HandleFunc("POST /v1/assert", h.assert)
@@ -131,6 +136,7 @@ type rankResponse struct {
 	Results []resultJSON `json:"results"`
 	Cached  bool         `json:"cached"`
 	Epoch   int64        `json:"epoch"`
+	Shard   int          `json:"shard"` // always 0 on an unsharded server
 	Micros  int64        `json:"micros"`
 }
 
@@ -156,24 +162,11 @@ func (h *Handler) declare(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	epoch, err := h.srv.Facade().WithWriteEpoch(func(sys *contextrank.System) error {
-		if len(req.Concepts) > 0 {
-			if err := sys.DeclareConcept(req.Concepts...); err != nil {
-				return err
-			}
-		}
-		if len(req.Roles) > 0 {
-			if err := sys.DeclareRole(req.Roles...); err != nil {
-				return err
-			}
-		}
-		for _, sc := range req.Subconcepts {
-			if err := sys.SubConcept(sc.Sub, sc.Super); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
+	subs := make([]SubConceptDecl, len(req.Subconcepts))
+	for i, sc := range req.Subconcepts {
+		subs[i] = SubConceptDecl{Sub: sc.Sub, Super: sc.Super}
+	}
+	epoch, err := h.srv.Declare(req.Concepts, req.Roles, subs)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -186,26 +179,15 @@ func (h *Handler) assert(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	// The session-vocabulary check runs inside the write critical
-	// section: session applies also hold the write lock, so the
-	// vocabulary cannot change between check and assert (no TOCTOU).
-	epoch, err := h.srv.Facade().WithWriteEpoch(func(sys *contextrank.System) error {
-		for _, a := range req.Concepts {
-			if h.srv.Sessions().IsSessionConcept(a.Concept) {
-				return fmt.Errorf(
-					"serve: concept %q is session-context vocabulary; the next context apply would clear the assertion — manage it via /v1/sessions instead", a.Concept)
-			}
-			if err := sys.AssertConcept(a.Concept, a.ID, a.Prob); err != nil {
-				return err
-			}
-		}
-		for _, a := range req.Roles {
-			if err := sys.AssertRole(a.Role, a.Src, a.Dst, a.Prob); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
+	concepts := make([]ConceptAssertion, len(req.Concepts))
+	for i, a := range req.Concepts {
+		concepts[i] = ConceptAssertion{Concept: a.Concept, ID: a.ID, Prob: a.Prob}
+	}
+	roles := make([]RoleAssertion, len(req.Roles))
+	for i, a := range req.Roles {
+		roles[i] = RoleAssertion{Role: a.Role, Src: a.Src, Dst: a.Dst, Prob: a.Prob}
+	}
+	epoch, err := h.srv.Assert(concepts, roles)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -214,7 +196,7 @@ func (h *Handler) assert(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) listRules(w http.ResponseWriter, r *http.Request) {
-	rules := h.srv.Facade().Rules()
+	rules := h.srv.Rules()
 	out := make([]ruleJSON, 0, len(rules))
 	for _, rule := range rules {
 		out = append(out, ruleJSON{
@@ -236,17 +218,7 @@ func (h *Handler) addRules(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("serve: no rules in request"))
 		return
 	}
-	var added []string
-	epoch, err := h.srv.Facade().WithWriteEpoch(func(sys *contextrank.System) error {
-		for _, text := range req.Rules {
-			rule, err := sys.AddRule(text)
-			if err != nil {
-				return err
-			}
-			added = append(added, rule.Name)
-		}
-		return nil
-	})
+	added, epoch, err := h.srv.AddRules(req.Rules)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -255,9 +227,7 @@ func (h *Handler) addRules(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) removeRule(w http.ResponseWriter, r *http.Request) {
-	epoch, err := h.srv.Facade().WithWriteEpoch(func(sys *contextrank.System) error {
-		return sys.Rules().Remove(r.PathValue("name"))
-	})
+	epoch, err := h.srv.RemoveRule(r.PathValue("name"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -280,7 +250,7 @@ func (h *Handler) setSession(w http.ResponseWriter, r *http.Request) {
 			Source:     m.Source,
 		}
 	}
-	fp, err := h.srv.Sessions().Set(r.PathValue("user"), ms)
+	fp, err := h.srv.SetSession(r.PathValue("user"), ms)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -290,7 +260,7 @@ func (h *Handler) setSession(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) getSession(w http.ResponseWriter, r *http.Request) {
 	user := r.PathValue("user")
-	ms, fp, ok := h.srv.Sessions().Snapshot(user)
+	ms, fp, ok := h.srv.SessionInfo(user)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no session for %q", user))
 		return
@@ -313,7 +283,7 @@ func (h *Handler) getSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) dropSession(w http.ResponseWriter, r *http.Request) {
-	if err := h.srv.Sessions().Drop(r.PathValue("user")); err != nil {
+	if err := h.srv.DropSession(r.PathValue("user")); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -375,6 +345,7 @@ func (h *Handler) rank(w http.ResponseWriter, req rankRequest) {
 		Results: make([]resultJSON, len(results)),
 		Cached:  meta.Cached,
 		Epoch:   meta.Epoch,
+		Shard:   meta.Shard,
 		Micros:  meta.Elapsed.Microseconds(),
 	}
 	for i, res := range results {
@@ -394,7 +365,7 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	res, err := h.srv.Facade().Query(req.SQL)
+	res, err := h.srv.Query(req.SQL)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -407,12 +378,7 @@ func (h *Handler) exec(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	var res *contextrank.QueryResult
-	epoch, err := h.srv.Facade().WithWriteEpoch(func(sys *contextrank.System) error {
-		r, rerr := sys.Exec(req.SQL)
-		res = r
-		return rerr
-	})
+	res, epoch, err := h.srv.Exec(req.SQL)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

@@ -31,8 +31,12 @@
 //     membership propagates across role edges and the update degrades to
 //     a full epoch bump (see Sessions).
 //
-// Handler exposes the whole thing over HTTP/JSON (cmd/carserved is the
-// daemon around it); see DESIGN.md §3 for the architecture discussion.
+// Handler exposes the whole thing over HTTP/JSON through the Backend
+// interface (cmd/carserved is the daemon around it). The shard subpackage
+// scales the layer horizontally: a shard.Coordinator owns N Servers,
+// routes per-user traffic by consistent hash and broadcasts vocabulary
+// writes, behind the same Backend interface. See DESIGN.md §3/§3.5 for
+// the architecture discussion.
 package serve
 
 import (

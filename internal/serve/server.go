@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"fmt"
+	"io"
 	"sync/atomic"
 	"time"
 
@@ -14,6 +16,63 @@ type Options struct {
 	CacheSize int
 }
 
+// Backend is the serving surface the HTTP handler (and the load
+// generators) speak to. Two implementations exist: *Server — one System
+// behind one facade — and shard.Coordinator, which routes per-user
+// operations to one of N Servers by consistent hash and broadcasts
+// vocabulary writes to all of them. The handler is written against this
+// interface so both serve the identical HTTP API.
+type Backend interface {
+	// Rank ranks target for user through the backend's cache(s).
+	Rank(user, target string, opts contextrank.RankOptions) ([]contextrank.Result, RankMeta, error)
+	// Declare registers concepts, roles and subconcept axioms (a
+	// vocabulary write: sharded backends broadcast it to every shard).
+	Declare(concepts, roles []string, subs []SubConceptDecl) (int64, error)
+	// Assert adds (possibly uncertain) concept/role assertions (also a
+	// broadcast write under sharding).
+	Assert(concepts []ConceptAssertion, roles []RoleAssertion) (int64, error)
+	// Rules snapshots the registered preference rules.
+	Rules() []contextrank.Rule
+	// AddRules parses and registers scored preference rules, returning
+	// the added rule names.
+	AddRules(texts []string) ([]string, int64, error)
+	// RemoveRule deletes a rule by name.
+	RemoveRule(name string) (int64, error)
+	// SetSession replaces the user's session context.
+	SetSession(user string, ms []Measurement) (string, error)
+	// SessionInfo returns the user's measurements and fingerprint.
+	SessionInfo(user string) ([]Measurement, string, bool)
+	// DropSession ends the user's session.
+	DropSession(user string) error
+	// Query runs a read-only SELECT.
+	Query(stmt string) (*contextrank.QueryResult, error)
+	// Exec runs a mutating SQL statement.
+	Exec(stmt string) (*contextrank.QueryResult, int64, error)
+	// Stats snapshots the backend's observable state.
+	Stats() Stats
+}
+
+// SubConceptDecl is one TBox axiom sub ⊑ super in a Declare call.
+type SubConceptDecl struct {
+	Sub   string
+	Super string
+}
+
+// ConceptAssertion is one concept-membership assertion in an Assert call.
+type ConceptAssertion struct {
+	Concept string
+	ID      string
+	Prob    float64
+}
+
+// RoleAssertion is one role-tuple assertion in an Assert call.
+type RoleAssertion struct {
+	Role string
+	Src  string
+	Dst  string
+	Prob float64
+}
+
 // Server is the complete serving layer: facade + sessions + rank cache +
 // statistics. It is safe for concurrent use by any number of goroutines.
 type Server struct {
@@ -24,6 +83,8 @@ type Server struct {
 	start    time.Time
 	requests atomic.Int64
 }
+
+var _ Backend = (*Server)(nil)
 
 // NewServer wraps the system for serving. The caller must route all
 // subsequent access through the returned server (or its Facade).
@@ -50,6 +111,7 @@ func (s *Server) Sessions() *Sessions { return s.sessions }
 type RankMeta struct {
 	Cached  bool          // served from cache or coalesced onto another call
 	Epoch   int64         // facade epoch the result corresponds to
+	Shard   int           // shard that served the call (0 for an unsharded Server)
 	Elapsed time.Duration // wall time of this call
 }
 
@@ -105,14 +167,133 @@ func (s *Server) Rank(user, target string, opts contextrank.RankOptions) ([]cont
 	return res, RankMeta{Cached: cached, Epoch: epoch, Elapsed: elapsed}, err
 }
 
+// --- Backend write/read operations -----------------------------------------
+
+// Declare registers concepts, roles and subconcept axioms in one epoch.
+func (s *Server) Declare(concepts, roles []string, subs []SubConceptDecl) (int64, error) {
+	return s.facade.WithWriteEpoch(func(sys *contextrank.System) error {
+		if len(concepts) > 0 {
+			if err := sys.DeclareConcept(concepts...); err != nil {
+				return err
+			}
+		}
+		if len(roles) > 0 {
+			if err := sys.DeclareRole(roles...); err != nil {
+				return err
+			}
+		}
+		for _, sc := range subs {
+			if err := sys.SubConcept(sc.Sub, sc.Super); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Assert adds concept and role assertions in one epoch. Concepts that are
+// currently session-context vocabulary are refused: the next context apply
+// would clear the assertion (the check runs inside the write critical
+// section, where session applies also hold the lock, so there is no TOCTOU
+// window).
+func (s *Server) Assert(concepts []ConceptAssertion, roles []RoleAssertion) (int64, error) {
+	return s.facade.WithWriteEpoch(func(sys *contextrank.System) error {
+		for _, a := range concepts {
+			if s.sessions.IsSessionConcept(a.Concept) {
+				return fmt.Errorf(
+					"serve: concept %q is session-context vocabulary; the next context apply would clear the assertion — manage it via /v1/sessions instead", a.Concept)
+			}
+			if err := sys.AssertConcept(a.Concept, a.ID, a.Prob); err != nil {
+				return err
+			}
+		}
+		for _, a := range roles {
+			if err := sys.AssertRole(a.Role, a.Src, a.Dst, a.Prob); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Rules snapshots the registered preference rules.
+func (s *Server) Rules() []contextrank.Rule { return s.facade.Rules() }
+
+// AddRules parses and registers rules, returning the added names. On error
+// the names added before the failure stay registered (matching the facade's
+// partial-mutation policy; the epoch bump invalidates cached rankings).
+func (s *Server) AddRules(texts []string) ([]string, int64, error) {
+	var added []string
+	epoch, err := s.facade.WithWriteEpoch(func(sys *contextrank.System) error {
+		for _, text := range texts {
+			rule, err := sys.AddRule(text)
+			if err != nil {
+				return err
+			}
+			added = append(added, rule.Name)
+		}
+		return nil
+	})
+	return added, epoch, err
+}
+
+// RemoveRule deletes a rule by name.
+func (s *Server) RemoveRule(name string) (int64, error) {
+	return s.facade.WithWriteEpoch(func(sys *contextrank.System) error {
+		return sys.Rules().Remove(name)
+	})
+}
+
+// SetSession replaces the user's session context.
+func (s *Server) SetSession(user string, ms []Measurement) (string, error) {
+	return s.sessions.Set(user, ms)
+}
+
+// SessionInfo returns the user's measurements and fingerprint.
+func (s *Server) SessionInfo(user string) ([]Measurement, string, bool) {
+	return s.sessions.Snapshot(user)
+}
+
+// DropSession ends the user's session.
+func (s *Server) DropSession(user string) error { return s.sessions.Drop(user) }
+
+// Query runs a read-only SELECT through the facade.
+func (s *Server) Query(stmt string) (*contextrank.QueryResult, error) {
+	return s.facade.Query(stmt)
+}
+
+// Exec runs a mutating SQL statement, returning the new epoch.
+func (s *Server) Exec(stmt string) (*contextrank.QueryResult, int64, error) {
+	var res *contextrank.QueryResult
+	epoch, err := s.facade.WithWriteEpoch(func(sys *contextrank.System) error {
+		r, rerr := sys.Exec(stmt)
+		res = r
+		return rerr
+	})
+	return res, epoch, err
+}
+
+// SaveSnapshot dumps the wrapped system as JSON to w with the merged
+// session context suspended (see Sessions.SuspendAndDump): the snapshot
+// carries data, vocabulary, views and rules but never session context, so
+// a server restored from it accepts session applies immediately. The dump
+// runs under the write lock — a consistent cut — and bumps the epoch.
+func (s *Server) SaveSnapshot(w io.Writer) error {
+	return s.sessions.SuspendAndDump(func(sys *contextrank.System) error {
+		return sys.SaveSnapshot(w)
+	})
+}
+
+// --- statistics ------------------------------------------------------------
+
 // Stats is the server's observable state, shaped for the /v1/stats
 // endpoint and the load generator.
 type Stats struct {
-	Epoch         int64        `json:"epoch"`
-	Sessions      int          `json:"sessions"`
-	Rules         int          `json:"rules"`
-	Requests      int64        `json:"rank_requests"`
-	UptimeSeconds float64      `json:"uptime_seconds"`
+	Epoch         int64   `json:"epoch"`
+	Sessions      int     `json:"sessions"`
+	Rules         int     `json:"rules"`
+	Requests      int64   `json:"rank_requests"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Events is the number of basic events currently declared in the
 	// system's event space. Under session churn it stays bounded by the
 	// live context vocabulary (each context apply retires the previous
@@ -120,14 +301,42 @@ type Stats struct {
 	Events  int          `json:"events"`
 	Cache   CacheStats   `json:"cache"`
 	Latency LatencyStats `json:"latency"`
+	// Broadcast describes cross-shard vocabulary writes; only a sharded
+	// backend fills it.
+	Broadcast *BroadcastStats `json:"broadcast,omitempty"`
+	// Shards is the per-shard breakdown (index = shard id); only a
+	// sharded backend fills it, and the outer struct is then the
+	// aggregate: requests/sessions/events sum, epoch/rules take the
+	// maximum (vocabulary is replicated), and latency percentiles take
+	// the worst shard.
+	Shards []Stats `json:"shards,omitempty"`
 }
 
-// Stats snapshots the server counters.
+// BroadcastStats describes the cross-shard write path of a sharded
+// backend: every vocabulary mutation (declare, assert, rules, exec) is
+// applied to all shards, and its latency is the wall time of the slowest
+// shard's apply.
+type BroadcastStats struct {
+	Writes     int64   `json:"writes"`
+	MeanMicros float64 `json:"mean_us"`
+	MaxMicros  float64 `json:"max_us"`
+}
+
+// Stats snapshots the server counters. The collection path is lock-free:
+// it reads atomics (epoch, request/session counters, cache counters, the
+// latency ring) and internally synchronized component state (rule
+// repository, event space) without ever taking the facade lock, the
+// session mutex or the cache mutex — scraping /v1/stats during a long
+// write (e.g. a merged context apply) returns immediately instead of
+// queueing behind rank traffic. The snapshot is correspondingly not an
+// atomic cut across counters, which monitoring does not need.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Epoch:         s.facade.Epoch(),
-		Sessions:      s.sessions.Count(),
-		Rules:         s.facade.RuleCount(),
+		Epoch:    s.facade.Epoch(),
+		Sessions: s.sessions.Count(),
+		// The repository serializes itself and its lock is never held
+		// across rank work, so this cannot queue behind the facade.
+		Rules:         s.facade.sys.Rules().Len(),
 		Requests:      s.requests.Load(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		// The space serializes its own reads, so no facade lock is needed.

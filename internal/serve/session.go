@@ -6,7 +6,9 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
+	contextrank "repro"
 	"repro/internal/dl"
 	"repro/internal/mapping"
 	"repro/internal/situation"
@@ -59,6 +61,10 @@ type Sessions struct {
 
 	mu    sync.Mutex
 	users map[string]*session
+	// count mirrors len(users) so Count is lock-free: s.mu is held across
+	// the facade write lock during merged applies, and a stats scrape must
+	// not queue behind an apply just to read the session count.
+	count atomic.Int64
 	// appliedRows counts, per session-context concept, how many assertion
 	// rows the last successful apply put in its table. The guard in
 	// applyMergedLocked compares the table's current row count against
@@ -145,6 +151,9 @@ func (s *Sessions) Set(user string, measurements []Measurement) (string, error) 
 	}
 	sess := &session{measurements: ms, fingerprint: fingerprint(user, ms)}
 	s.users[user] = sess
+	// Refresh the lock-free count mirror after the map settles (including
+	// the rollback below); runs while s.mu is still held.
+	defer func() { s.count.Store(int64(len(s.users))) }()
 	if err := s.applyMergedLocked(changed); err != nil {
 		// Roll back the bookkeeping, then best-effort re-apply the
 		// previous state: a failed apply may have cleared other users'
@@ -183,6 +192,7 @@ func (s *Sessions) Drop(user string) error {
 		changed[m.Concept] = true
 	}
 	delete(s.users, user)
+	defer func() { s.count.Store(int64(len(s.users))) }() // before the s.mu unlock
 	if err := s.applyMergedLocked(changed); err != nil {
 		// Same restore-and-bump policy as Set: the drop did not take
 		// effect, and anything cached during the torn window dies.
@@ -261,11 +271,11 @@ func (s *Sessions) Users() []string {
 	return out
 }
 
-// Count returns the number of live sessions.
+// Count returns the number of live sessions. It is lock-free (reading a
+// mirror of len(users) maintained under s.mu), so it never queues behind
+// an in-flight merged apply — Stats calls it on the scrape path.
 func (s *Sessions) Count() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.users)
+	return int(s.count.Load())
 }
 
 // applyMergedLocked builds one situation snapshot from every live session
@@ -279,6 +289,16 @@ func (s *Sessions) Count() int {
 // order is always s.mu before facade.mu, and the rank path never takes
 // s.mu while holding the facade lock (it uses AppliedFingerprint).
 func (s *Sessions) applyMergedLocked(changed map[string]bool) error {
+	f := s.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return s.applyMergedFacadeLocked(changed)
+}
+
+// applyMergedFacadeLocked is applyMergedLocked's body for callers that
+// already hold the facade write lock (SuspendAndDump runs it inside the
+// same critical section as the retraction and the dump).
+func (s *Sessions) applyMergedFacadeLocked(changed map[string]bool) error {
 	merged := situation.New("_sessions")
 	users := make([]string, 0, len(s.users))
 	for u := range s.users {
@@ -311,8 +331,6 @@ func (s *Sessions) applyMergedLocked(changed map[string]bool) error {
 	}
 
 	f := s.f
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	// Refuse concepts holding assertions beyond what our own last apply
 	// put there (see the type comment). Checked before any mutation, so
 	// rejection leaves the system untouched. Strictly more rows than we
@@ -390,6 +408,38 @@ func (s *Sessions) applyMergedLocked(changed map[string]bool) error {
 		return true
 	})
 	return nil
+}
+
+// SuspendAndDump runs fn (typically a snapshot dump) on the bare system
+// with the merged session context *retracted*, then re-applies the merged
+// context — all inside one facade write critical section, so no reader
+// ever observes the suspended state. Serving-layer snapshots therefore
+// contain only durable state: session context is never persisted (it is
+// sensed fresh after a restart, the paper's §5 position), and a restored
+// server's session manager starts with clean concept tables instead of
+// refusing its own vocabulary as foreign data.
+//
+// The epoch is bumped on the way out regardless of outcome: a failed
+// re-apply leaves the context torn, and conservative invalidation is the
+// established policy for every partial mutation.
+func (s *Sessions) SuspendAndDump(fn func(sys *contextrank.System) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	defer f.epoch.Add(1)
+	if err := f.sys.SetContext(situation.New("_snapshot")); err != nil {
+		return fmt.Errorf("serve: suspending session context: %w", err)
+	}
+	// The retraction cleared every session-asserted row; the guard in the
+	// re-apply below must not count them against the new snapshot.
+	s.appliedRows = make(map[string]int)
+	dumpErr := fn(f.sys)
+	if err := s.applyMergedFacadeLocked(nil); err != nil && dumpErr == nil {
+		dumpErr = fmt.Errorf("serve: re-applying session context after dump: %w", err)
+	}
+	return dumpErr
 }
 
 // rolesCoupleLocked reports whether any changed concept occurs inside a

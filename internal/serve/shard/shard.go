@@ -1,0 +1,284 @@
+// Package shard is the sharded serving layer: a Coordinator owns N
+// independent serve.Server replicas — each with its own contextrank.System,
+// session manager, rank cache and lock — and routes every per-user
+// operation (session applies, ranks) to one shard by consistent hash of
+// the user ID. A context apply on shard 3 therefore never blocks a rank on
+// shard 7: the single writer lock of the unsharded layer becomes N
+// independent locks, and aggregate throughput under a mixed apply+rank
+// workload scales with the shard count (see carbench -exp serve -shards).
+//
+// Shared vocabulary — schema declares, data assertions, preference rules,
+// SQL DML — is *broadcast*: applied to every shard in parallel, so each
+// shard holds a full replica of the non-session state and can rank any
+// user routed to it. Consistency caveats of that design are documented on
+// Coordinator; DESIGN.md §3.5 has the architecture discussion.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	contextrank "repro"
+	"repro/internal/serve"
+)
+
+// Coordinator routes serving traffic across N shard replicas. It
+// implements serve.Backend, so serve.NewHandlerFor exposes the identical
+// HTTP API over it.
+//
+// # Consistency
+//
+//   - Per-user state (sessions, cached rankings) lives only on the user's
+//     shard; routing is a pure function of (user, N), so a user always
+//     observes their own updates.
+//   - Broadcast writes are applied to all shards in parallel without a
+//     commit protocol. On error the failing shards report it and the
+//     others keep the write: shards can diverge until the next successful
+//     broadcast of the same fact (all broadcast operations are
+//     assert-style and idempotent at the vocabulary level) or a restore
+//     from snapshot. The first error is returned to the caller.
+//   - Read-only SQL queries are served by one shard chosen round-robin.
+//     Replicated data is identical everywhere, but session-context
+//     assertions are shard-local: a query over context concepts sees only
+//     the chosen shard's sessions. Use per-user endpoints for
+//     session-coupled reads.
+type Coordinator struct {
+	shards []*serve.Server
+	start  time.Time
+	rr     atomic.Int64 // round-robin cursor for shard-agnostic reads
+
+	// Broadcast-write latency: total wall time (slowest shard) per write.
+	bcastWrites atomic.Int64
+	bcastSumNs  atomic.Int64
+	bcastMaxNs  atomic.Int64
+}
+
+var _ serve.Backend = (*Coordinator)(nil)
+
+// New builds a coordinator over n fresh shards. build constructs shard
+// i's System (e.g. preloading a dataset, or restoring a snapshot); it is
+// called once per shard, in order.
+func New(n int, build func(shard int) (*contextrank.System, error), opts serve.Options) (*Coordinator, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
+	}
+	c := &Coordinator{shards: make([]*serve.Server, n), start: time.Now()}
+	for i := 0; i < n; i++ {
+		sys, err := build(i)
+		if err != nil {
+			return nil, fmt.Errorf("shard: building shard %d: %w", i, err)
+		}
+		c.shards[i] = serve.NewServer(sys, opts)
+	}
+	return c, nil
+}
+
+// N returns the shard count.
+func (c *Coordinator) N() int { return len(c.shards) }
+
+// Shard returns shard i's server, for direct (test/diagnostic) access.
+func (c *Coordinator) Shard(i int) *serve.Server { return c.shards[i] }
+
+// ShardFor returns the shard index serving the given user.
+func (c *Coordinator) ShardFor(user string) int {
+	return ShardIndex(user, len(c.shards))
+}
+
+// ShardIndex is the routing function: FNV-64a of the user ID fed through
+// Lamping–Veach jump consistent hashing. It is a pure function of (user,
+// shards) — the same user always lands on the same shard for a fixed
+// count — and growing the count from n to n+1 moves only ~1/(n+1) of the
+// users, so resharding invalidates the minimum of per-shard state.
+func ShardIndex(user string, shards int) int {
+	h := fnv.New64a()
+	h.Write([]byte(user))
+	return jumpHash(h.Sum64(), shards)
+}
+
+// jumpHash is Lamping & Veach's jump consistent hash ("A Fast, Minimal
+// Memory, Consistent Hash Algorithm", 2014): O(ln buckets), no memory,
+// minimal key movement between bucket counts.
+func jumpHash(key uint64, buckets int) int {
+	var b, j int64 = -1, 0
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+// --- routed per-user operations --------------------------------------------
+
+// Rank routes the rank to the user's shard; the returned meta carries the
+// shard index that served it.
+func (c *Coordinator) Rank(user, target string, opts contextrank.RankOptions) ([]contextrank.Result, serve.RankMeta, error) {
+	i := c.ShardFor(user)
+	res, meta, err := c.shards[i].Rank(user, target, opts)
+	meta.Shard = i
+	return res, meta, err
+}
+
+// SetSession applies the user's session context on the user's shard only:
+// the merged apply and its write lock are shard-local.
+func (c *Coordinator) SetSession(user string, ms []serve.Measurement) (string, error) {
+	return c.shards[c.ShardFor(user)].SetSession(user, ms)
+}
+
+// SessionInfo reads the user's session from the user's shard.
+func (c *Coordinator) SessionInfo(user string) ([]serve.Measurement, string, bool) {
+	return c.shards[c.ShardFor(user)].SessionInfo(user)
+}
+
+// DropSession ends the user's session on the user's shard.
+func (c *Coordinator) DropSession(user string) error {
+	return c.shards[c.ShardFor(user)].DropSession(user)
+}
+
+// --- broadcast writes ------------------------------------------------------
+
+// broadcast applies fn to every shard in parallel, records the write's
+// wall time (the slowest shard), and returns the highest resulting epoch
+// together with the first error in shard order. Callers that need one
+// representative result capture it when i == 0 — wg.Wait orders that
+// write before the caller's read, so no extra locking is needed.
+func (c *Coordinator) broadcast(fn func(i int, s *serve.Server) (int64, error)) (int64, error) {
+	started := time.Now()
+	epochs := make([]int64, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			epochs[i], errs[i] = fn(i, c.shards[i])
+		}(i)
+	}
+	wg.Wait()
+	c.observeBroadcast(time.Since(started))
+
+	var epoch int64
+	for _, e := range epochs {
+		if e > epoch {
+			epoch = e
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return epoch, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return epoch, nil
+}
+
+func (c *Coordinator) observeBroadcast(d time.Duration) {
+	ns := int64(d)
+	c.bcastWrites.Add(1)
+	c.bcastSumNs.Add(ns)
+	for {
+		cur := c.bcastMaxNs.Load()
+		if ns <= cur || c.bcastMaxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Declare broadcasts concept/role/subconcept declarations to every shard.
+func (c *Coordinator) Declare(concepts, roles []string, subs []serve.SubConceptDecl) (int64, error) {
+	return c.broadcast(func(_ int, s *serve.Server) (int64, error) {
+		return s.Declare(concepts, roles, subs)
+	})
+}
+
+// Assert broadcasts data assertions to every shard. Uncertain assertions
+// declare an independent fresh basic event per shard; the marginal
+// probability every shard computes is identical, so rankings agree across
+// shards even though the event names differ.
+func (c *Coordinator) Assert(concepts []serve.ConceptAssertion, roles []serve.RoleAssertion) (int64, error) {
+	return c.broadcast(func(_ int, s *serve.Server) (int64, error) {
+		return s.Assert(concepts, roles)
+	})
+}
+
+// Rules snapshots the registered rules from one replica (rules are
+// broadcast, so all shards agree after any successful AddRules).
+func (c *Coordinator) Rules() []contextrank.Rule { return c.shards[0].Rules() }
+
+// AddRules broadcasts rule registration to every shard; the added names
+// are reported from shard 0 (parsing is deterministic, so every shard
+// derives the same names).
+func (c *Coordinator) AddRules(texts []string) ([]string, int64, error) {
+	var added []string
+	epoch, err := c.broadcast(func(i int, s *serve.Server) (int64, error) {
+		names, e, err := s.AddRules(texts)
+		if i == 0 {
+			added = names
+		}
+		return e, err
+	})
+	return added, epoch, err
+}
+
+// RemoveRule broadcasts the removal to every shard.
+func (c *Coordinator) RemoveRule(name string) (int64, error) {
+	return c.broadcast(func(_ int, s *serve.Server) (int64, error) {
+		return s.RemoveRule(name)
+	})
+}
+
+// Exec broadcasts a mutating SQL statement; the result set is shard 0's
+// (replicated data is identical when the broadcast succeeds).
+func (c *Coordinator) Exec(stmt string) (*contextrank.QueryResult, int64, error) {
+	var res *contextrank.QueryResult
+	epoch, err := c.broadcast(func(i int, s *serve.Server) (int64, error) {
+		r, e, err := s.Exec(stmt)
+		if i == 0 {
+			res = r
+		}
+		return e, err
+	})
+	return res, epoch, err
+}
+
+// --- shard-agnostic reads --------------------------------------------------
+
+// Query serves a read-only SELECT from one shard, chosen round-robin.
+// Replicated data is identical on every shard; session-context assertions
+// are shard-local (see the Coordinator consistency notes).
+func (c *Coordinator) Query(stmt string) (*contextrank.QueryResult, error) {
+	i := int(uint64(c.rr.Add(1)-1) % uint64(len(c.shards)))
+	return c.shards[i].Query(stmt)
+}
+
+// Stats aggregates every shard's counters (the Shards field carries the
+// per-shard breakdown, index = shard id) and attaches broadcast-write
+// latency. Like Server.Stats it is collection-lock-free.
+func (c *Coordinator) Stats() serve.Stats {
+	agg := serve.Stats{UptimeSeconds: time.Since(c.start).Seconds()}
+	agg.Shards = make([]serve.Stats, len(c.shards))
+	for i, s := range c.shards {
+		st := s.Stats()
+		agg.Shards[i] = st
+		agg.Requests += st.Requests
+		agg.Sessions += st.Sessions
+		agg.Events += st.Events
+		if st.Epoch > agg.Epoch {
+			agg.Epoch = st.Epoch
+		}
+		if st.Rules > agg.Rules {
+			agg.Rules = st.Rules
+		}
+		agg.Cache = agg.Cache.Merge(st.Cache)
+		agg.Latency = agg.Latency.Merge(st.Latency)
+	}
+	b := &serve.BroadcastStats{Writes: c.bcastWrites.Load()}
+	if b.Writes > 0 {
+		b.MeanMicros = float64(c.bcastSumNs.Load()) / 1e3 / float64(b.Writes)
+		b.MaxMicros = float64(c.bcastMaxNs.Load()) / 1e3
+	}
+	agg.Broadcast = b
+	return agg
+}

@@ -1,0 +1,148 @@
+package shard
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	contextrank "repro"
+)
+
+// manifestName is the snapshot-directory manifest recording which save
+// generation is current and how many shard files it holds.
+const manifestName = "manifest.json"
+
+// manifestVersion guards the directory layout, not the per-shard snapshot
+// format (engine.Dump carries its own version).
+const manifestVersion = 1
+
+type manifest struct {
+	Version int    `json:"version"`
+	Shards  int    `json:"shards"`
+	Save    string `json:"save"` // generation id the shard files carry
+}
+
+// snapshotFile names shard i's file within save generation id.
+func snapshotFile(dir, id string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%s-%03d.snapshot.json", id, i))
+}
+
+// SaveSnapshots dumps every shard's database (serve.Server.SaveSnapshot:
+// engine.Dump plus the persisted rule repository, with session context
+// suspended) into dir, one file per shard plus a manifest, creating dir
+// if needed. Each dump runs under that shard's write lock, so it is a
+// consistent cut of that shard; other shards keep serving while one is
+// dumping.
+//
+// The save is atomic as a *set*: every file of a save carries a fresh
+// generation id, and the manifest — renamed into place last — is the only
+// pointer to a generation. A crash at any instant leaves the manifest
+// referencing a complete generation (the previous one until the final
+// rename, the new one after), never a mix; overwriting an older save with
+// a different shard count can therefore never splice stale replicas into
+// a restore. Files of superseded generations are removed best-effort
+// after the manifest switch.
+//
+// Sessions are not persisted — context is sensed fresh after a restart
+// (the paper's §5 position).
+func (c *Coordinator) SaveSnapshots(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("shard: snapshot dir: %w", err)
+	}
+	var idBytes [8]byte
+	if _, err := rand.Read(idBytes[:]); err != nil {
+		return fmt.Errorf("shard: save id: %w", err)
+	}
+	id := hex.EncodeToString(idBytes[:])
+	for i, s := range c.shards {
+		path := snapshotFile(dir, id, i)
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("shard: snapshot %d: %w", i, err)
+		}
+		err = s.SaveSnapshot(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("shard: snapshot %d: %w", i, err)
+		}
+	}
+	mf, err := json.Marshal(manifest{Version: manifestVersion, Shards: len(c.shards), Save: id})
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, mf, 0o644); err != nil {
+		return fmt.Errorf("shard: manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("shard: manifest: %w", err)
+	}
+	removeStaleSaves(dir, id)
+	return nil
+}
+
+// removeStaleSaves best-effort deletes shard files from generations other
+// than keep — superseded saves, or leftovers of a crashed save.
+func removeStaleSaves(dir, keep string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	prefix := "shard-"
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".snapshot.json") {
+			continue
+		}
+		if !strings.HasPrefix(name, prefix+keep+"-") {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// HasSnapshots reports whether dir holds a snapshot set (a readable
+// manifest).
+func HasSnapshots(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// RestoreBuilder returns a New-compatible build function that restores
+// shard i from the snapshot set in dir, plus the shard count the set was
+// saved with. The target shard count may differ from the saved one:
+// because every broadcast write is replicated, any saved shard holds the
+// full non-session state, so shard i restores from file i mod saved —
+// resharding (1→8, 8→4, …) is just a restore at the new count. What does
+// NOT carry over across a reshard is nothing persistent: sessions are
+// never saved, and caches start cold either way.
+func RestoreBuilder(dir string) (build func(shard int) (*contextrank.System, error), saved int, err error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, 0, fmt.Errorf("shard: reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, 0, fmt.Errorf("shard: parsing manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, 0, fmt.Errorf("shard: manifest version %d unsupported (want %d)", m.Version, manifestVersion)
+	}
+	if m.Shards <= 0 {
+		return nil, 0, fmt.Errorf("shard: manifest reports %d shards", m.Shards)
+	}
+	build = func(i int) (*contextrank.System, error) {
+		f, err := os.Open(snapshotFile(dir, m.Save, i%m.Shards))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return contextrank.RestoreSystem(f)
+	}
+	return build, m.Shards, nil
+}

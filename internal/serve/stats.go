@@ -2,7 +2,7 @@ package serve
 
 import (
 	"sort"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -11,22 +11,24 @@ import (
 // percentiles describe recent traffic, not all-time history.
 const latencyWindow = 4096
 
-// latencyRecorder tracks request latencies in a fixed-size ring.
+// latencyRecorder tracks request latencies in a fixed-size ring. It is
+// fully lock-free: observe is two atomic stores on the rank hot path, and
+// snapshot reads the ring without excluding writers — a stats scrape can
+// never add tail latency to rank traffic. The price is that a snapshot is
+// not a consistent point-in-time cut: a slot may be observed mid-update
+// (still holding the previous observation, or zero before the first lap
+// completes). Percentiles over 4096 samples are insensitive to a handful
+// of torn slots.
 type latencyRecorder struct {
-	mu    sync.Mutex
-	ring  [latencyWindow]time.Duration
-	next  int
-	count int64
-	sum   time.Duration
+	ring [latencyWindow]atomic.Int64 // nanoseconds per slot
+	next atomic.Int64                // total observations ever; slot = (n-1) % window
+	sum  atomic.Int64                // nanoseconds, all-time
 }
 
 func (r *latencyRecorder) observe(d time.Duration) {
-	r.mu.Lock()
-	r.ring[r.next] = d
-	r.next = (r.next + 1) % latencyWindow
-	r.count++
-	r.sum += d
-	r.mu.Unlock()
+	n := r.next.Add(1)
+	r.ring[(n-1)%latencyWindow].Store(int64(d))
+	r.sum.Add(int64(d))
 }
 
 // LatencyStats summarizes the recent latency distribution. Quantiles are
@@ -42,29 +44,55 @@ type LatencyStats struct {
 }
 
 func (r *latencyRecorder) snapshot() LatencyStats {
-	r.mu.Lock()
-	n := int(r.count)
+	count := r.next.Load()
+	n := int(count)
 	if n > latencyWindow {
 		n = latencyWindow
 	}
-	window := make([]time.Duration, n)
-	copy(window, r.ring[:n])
-	st := LatencyStats{Count: r.count, Window: n}
-	if r.count > 0 {
-		st.MeanMicros = float64(r.sum.Microseconds()) / float64(r.count)
+	st := LatencyStats{Count: count, Window: n}
+	if count > 0 {
+		st.MeanMicros = float64(r.sum.Load()) / 1e3 / float64(count)
 	}
-	r.mu.Unlock()
-
 	if n == 0 {
 		return st
+	}
+	window := make([]int64, n)
+	for i := 0; i < n; i++ {
+		window[i] = r.ring[i].Load()
 	}
 	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
 	quantile := func(q float64) float64 {
 		idx := int(q * float64(n-1))
-		return float64(window[idx].Nanoseconds()) / 1e3
+		return float64(window[idx]) / 1e3
 	}
 	st.P50Micros = quantile(0.50)
 	st.P95Micros = quantile(0.95)
 	st.P99Micros = quantile(0.99)
 	return st
+}
+
+// Merge folds other into a combined view of several recorders' stats —
+// the shard coordinator uses it to aggregate per-shard latency: counts
+// add, the mean is count-weighted, and each percentile takes the worst
+// (largest) shard's value — an upper bound, since exact percentile
+// merging would need the raw windows.
+func (s LatencyStats) Merge(other LatencyStats) LatencyStats {
+	out := LatencyStats{
+		Count:  s.Count + other.Count,
+		Window: s.Window + other.Window,
+	}
+	if out.Count > 0 {
+		out.MeanMicros = (s.MeanMicros*float64(s.Count) + other.MeanMicros*float64(other.Count)) / float64(out.Count)
+	}
+	out.P50Micros = maxFloat(s.P50Micros, other.P50Micros)
+	out.P95Micros = maxFloat(s.P95Micros, other.P95Micros)
+	out.P99Micros = maxFloat(s.P99Micros, other.P99Micros)
+	return out
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
 }
