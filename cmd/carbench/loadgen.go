@@ -318,6 +318,135 @@ func runServeShardCurve(cfg loadgenConfig, counts []int) error {
 	return nil
 }
 
+// runRankBatchLoadgen measures the /v1/rank/batch amortization curve: for
+// each batch size B, concurrent clients alternate a session-context update
+// (which bumps the context epoch and invalidates every compiled rank plan)
+// with one batch of B candidate-list items. The per-request plan compile is
+// the fixed cost batching spreads: items/s should grow with B until
+// per-item scoring dominates. Candidate-list items bypass the rank-result
+// cache, so the curve measures the ranking path, not cache hits.
+func runRankBatchLoadgen(cfg loadgenConfig, sizes []int) error {
+	sys := contextrank.NewSystem()
+	if _, err := workload.LoadBench(sys.Loader(), sys.Rules(), cfg.Spec, cfg.Rules); err != nil {
+		return err
+	}
+	backend := serve.NewServer(sys, serve.Options{CacheSize: cfg.CacheSize})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: serve.NewHandlerFor(backend)}
+	go httpSrv.Serve(ln) //nolint:errcheck // closed via ln.Close at the end
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Clients * 2,
+		MaxIdleConnsPerHost: cfg.Clients * 2,
+	}}
+
+	// Fixed-size candidate chunks over the catalog; successive items rotate
+	// through them so batch items differ.
+	const chunk = 10
+	var chunks []string
+	for start := 0; start+chunk <= cfg.Spec.Programs || start == 0; start += chunk {
+		ids := make([]string, 0, chunk)
+		for i := 0; i < chunk && start+i < cfg.Spec.Programs; i++ {
+			ids = append(ids, fmt.Sprintf(`"tv%03d"`, start+i))
+		}
+		chunks = append(chunks, "["+strings.Join(ids, ",")+"]")
+	}
+
+	fmt.Printf("dataset: %d rules, %d programs; %d clients for %s per point, session churn before every batch (ctxprob %g)\n",
+		cfg.Rules, cfg.Spec.Programs, cfg.Clients, cfg.Duration, cfg.CtxProb)
+	fmt.Printf("%-7s %10s %10s %12s %14s %9s\n", "batch", "batches", "items", "items/s", "µs/item", "speedup")
+	var base1 float64
+	for _, bsz := range sizes {
+		var (
+			batches  atomic.Int64
+			errCount atomic.Int64
+			firstErr atomic.Value
+		)
+		started := time.Now()
+		deadline := started.Add(cfg.Duration)
+		var wg sync.WaitGroup
+		for c := 0; c < cfg.Clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				user := fmt.Sprintf("person%04d", c%cfg.Spec.Persons)
+				for n := 0; time.Now().Before(deadline); n++ {
+					ctxBody := fmt.Sprintf(`{"measurements":[{"concept":%q,"prob":%g}]}`,
+						workload.BenchContextConcept(n%cfg.Rules), cfg.CtxProb)
+					req, _ := http.NewRequest(http.MethodPut, base+"/v1/sessions/"+user+"/context", bytes.NewBufferString(ctxBody))
+					resp, err := client.Do(req)
+					if err != nil {
+						record(&errCount, &firstErr, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						record(&errCount, &firstErr, fmt.Errorf("session update: %s", resp.Status))
+						return
+					}
+					items := make([]string, bsz)
+					for i := range items {
+						items[i] = fmt.Sprintf(`{"candidates":%s,"limit":5}`, chunks[(n+i)%len(chunks)])
+					}
+					body := fmt.Sprintf(`{"user":%q,"items":[%s]}`, user, strings.Join(items, ","))
+					resp, err = client.Post(base+"/v1/rank/batch", "application/json", bytes.NewBufferString(body))
+					if err != nil {
+						record(&errCount, &firstErr, err)
+						return
+					}
+					var br struct {
+						Items []struct {
+							Error string `json:"error"`
+						} `json:"items"`
+					}
+					err = json.NewDecoder(resp.Body).Decode(&br)
+					resp.Body.Close()
+					if err != nil {
+						record(&errCount, &firstErr, err)
+						return
+					}
+					if resp.StatusCode != http.StatusOK || len(br.Items) != bsz {
+						record(&errCount, &firstErr, fmt.Errorf("batch: %s (%d items)", resp.Status, len(br.Items)))
+						return
+					}
+					for _, it := range br.Items {
+						if it.Error != "" {
+							record(&errCount, &firstErr, fmt.Errorf("batch item: %s", it.Error))
+							return
+						}
+					}
+					batches.Add(1)
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(started)
+		if n := errCount.Load(); n > 0 {
+			return fmt.Errorf("batch=%d: %d client errors, first: %v", bsz, n, firstErr.Load())
+		}
+		nb := batches.Load()
+		items := nb * int64(bsz)
+		itemsPerSec := float64(items) / elapsed.Seconds()
+		usPerItem := 0.0
+		if items > 0 {
+			usPerItem = elapsed.Seconds() / float64(items) * 1e6 * float64(cfg.Clients)
+		}
+		if base1 == 0 {
+			base1 = itemsPerSec
+		}
+		fmt.Printf("%-7d %10d %10d %12.0f %14.1f %8.2fx\n",
+			bsz, nb, items, itemsPerSec, usPerItem, itemsPerSec/base1)
+	}
+	fmt.Printf("speedup = ranked items/s relative to batch=%d (each batch pays one session apply + one plan compile)\n", sizes[0])
+	return nil
+}
+
 func record(count *atomic.Int64, first *atomic.Value, err error) {
 	if count.Add(1) == 1 {
 		first.Store(err)

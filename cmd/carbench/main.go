@@ -23,14 +23,25 @@
 // the req/s scaling curve with a cross-shard-broadcast latency column.
 // Not part of -exp all: it is a throughput demonstration, not a paper
 // reproduction.
+//
+// rankbatch: drive POST /v1/rank/batch under per-request session churn and
+// print the batch-size-vs-throughput curve (-batchsizes 1,2,4,8,16): every
+// request invalidates the client's compiled rank plan, so a batch of B
+// items amortizes one plan compile where B single ranks would pay B.
+//
+// -cpuprofile/-memprofile write pprof profiles for any run, e.g.
+// `carbench -exp rankbatch -cpuprofile cpu.out` then `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/experiments"
@@ -39,7 +50,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, e1, e2, e3, a1, a2, a3, a4, serve (load generator; not in 'all')")
+		exp      = flag.String("exp", "all", "experiment to run: all, e1, e2, e3, a1, a2, a3, a4, serve, rankbatch (load generators; not in 'all')")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-point budget for sweeps (the paper aborted at 30min)")
 		maxRules = flag.Int("maxrules", 8, "largest rule count in the scalability sweeps")
 		small    = flag.Bool("small", false, "use the scaled-down dataset instead of the paper's ~11k tuples")
@@ -52,8 +63,51 @@ func main() {
 		assertevery = flag.Duration("assertevery", 0, "serve: background fact-assertion interval bumping the epoch (0 = off)")
 		cachesize   = flag.Int("cachesize", 0, "serve: rank cache capacity (0 = default, -1 = disabled)")
 		ctxprob     = flag.Float64("ctxprob", 1, "serve: session measurement probability; < 1 churns basic events through the space on every context update")
+		batchSizes  = flag.String("batchsizes", "1,2,4,8,16", "rankbatch: comma-separated /v1/rank/batch item counts for the amortization curve")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
 	)
 	flag.Parse()
+
+	var stops []func()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		exitOn(err)
+		exitOn(pprof.StartCPUProfile(f))
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if *memprofile != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "carbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "carbench: memprofile:", err)
+			}
+		})
+	}
+	if len(stops) > 0 {
+		// Flushed on the normal return path *and* by exitOn before
+		// os.Exit, which would otherwise skip the defers and leave a
+		// truncated CPU profile / no heap profile on a failed run.
+		var once sync.Once
+		flushProfiles = func() {
+			once.Do(func() {
+				for _, stop := range stops {
+					stop()
+				}
+			})
+		}
+		defer flushProfiles()
+	}
 
 	spec := workload.DefaultSpec()
 	if *small {
@@ -167,12 +221,33 @@ func main() {
 		}
 	}
 
+	if strings.EqualFold(*exp, "rankbatch") {
+		ran = true
+		sizes, err := parseShardList(*batchSizes)
+		exitOn(err)
+		section("RANKBATCH — /v1/rank/batch amortization: batch size vs items/s under session churn")
+		exitOn(runRankBatchLoadgen(loadgenConfig{
+			Spec:      spec,
+			Rules:     *maxRules,
+			Clients:   *clients,
+			Duration:  *benchdur,
+			CacheSize: *cachesize,
+			CtxProb:   *ctxprob,
+		}, sizes))
+	}
+
 	if !ran {
 		fmt.Fprintf(os.Stderr, "carbench: unknown experiment %q\n", *exp)
 		flag.Usage()
+		flushProfiles()
 		os.Exit(2)
 	}
 }
+
+// flushProfiles stops and writes any -cpuprofile/-memprofile output; a
+// no-op until main arms it. Exit paths must call it because os.Exit skips
+// deferred functions.
+var flushProfiles = func() {}
 
 // parseShardList parses the -shards value: one count, or a comma list for
 // the scaling curve.
@@ -196,6 +271,7 @@ func section(title string) {
 func exitOn(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carbench:", err)
+		flushProfiles()
 		os.Exit(1)
 	}
 }

@@ -328,20 +328,175 @@ func (s *System) RankWith(user, target string, opts RankOptions) ([]Result, erro
 		Limit:     opts.Limit,
 		Explain:   opts.Explain,
 	}
-	var ranker core.Ranker
-	switch opts.Algorithm {
-	case "", AlgorithmFactorized:
-		ranker = s.factorized
-	case AlgorithmNaive:
-		ranker = s.naive
-	case AlgorithmView:
-		ranker = s.view
-	case AlgorithmSampled:
-		ranker = s.sampled
-	default:
-		return nil, fmt.Errorf("contextrank: unknown algorithm %q", opts.Algorithm)
+	ranker, err := s.ranker(opts.Algorithm, false)
+	if err != nil {
+		return nil, err
 	}
 	return ranker.Rank(req)
+}
+
+// KnownAlgorithm reports whether alg names a ranking implementation (the
+// empty string counts: it is the factorized default). The serving layer
+// validates batch requests against this so the accepted set cannot drift
+// from the ranker selector below.
+func KnownAlgorithm(alg Algorithm) bool {
+	switch alg {
+	case "", AlgorithmFactorized, AlgorithmNaive, AlgorithmView, AlgorithmSampled:
+		return true
+	}
+	return false
+}
+
+// ranker selects the implementation behind an Algorithm. The view ranker
+// ranks whole concepts only; candidate-list paths pass noView to reject it.
+func (s *System) ranker(alg Algorithm, noView bool) (core.Ranker, error) {
+	switch alg {
+	case "", AlgorithmFactorized:
+		return s.factorized, nil
+	case AlgorithmNaive:
+		return s.naive, nil
+	case AlgorithmView:
+		if noView {
+			return nil, fmt.Errorf("contextrank: the view algorithm ranks whole concepts, not candidate lists; use factorized, naive or sampled")
+		}
+		return s.view, nil
+	case AlgorithmSampled:
+		return s.sampled, nil
+	default:
+		return nil, fmt.Errorf("contextrank: unknown algorithm %q", alg)
+	}
+}
+
+// RankPlan is a compiled, reusable ranking plan: the per-(user, rule set,
+// context epoch) work of the factorized ranker — rule resolution, context
+// pruning, correlation clustering and the context-state probability tables
+// — hoisted out of the per-candidate loop. Compile one with
+// CompileRankPlan and rank any number of targets or candidate lists
+// against it; a plan stays valid until the data, rules or applied context
+// change (a context re-apply retires the old context's events, after which
+// the plan's methods fail rather than misrank). internal/serve caches
+// plans keyed by exactly those inputs.
+type RankPlan = core.Plan
+
+// CompileRankPlan compiles the repository's rules for one situated user
+// into a reusable RankPlan.
+func (s *System) CompileRankPlan(user string) (*RankPlan, error) {
+	return core.CompilePlan(s.loader, user, s.repo.Rules())
+}
+
+// RankWithPlan ranks the members of the target concept expression against
+// an already compiled plan — the factorized algorithm with its compile
+// step amortized away. opts.Algorithm must be empty or AlgorithmFactorized.
+func (s *System) RankWithPlan(plan *RankPlan, target string, opts RankOptions) ([]Result, error) {
+	if err := planOptsOK(opts); err != nil {
+		return nil, err
+	}
+	targetExpr, err := dl.Parse(target)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Rank(core.PlanRequest{
+		Target:    targetExpr,
+		Threshold: opts.Threshold,
+		Limit:     opts.Limit,
+		Explain:   opts.Explain,
+	})
+}
+
+// RankCandidatesWithPlan ranks an explicit candidate list against an
+// already compiled plan (the §5 query-integration shape: the candidates
+// typically come from the user's own query).
+func (s *System) RankCandidatesWithPlan(plan *RankPlan, candidates []string, opts RankOptions) ([]Result, error) {
+	if err := planOptsOK(opts); err != nil {
+		return nil, err
+	}
+	return plan.Rank(core.PlanRequest{
+		Candidates: candidates,
+		Threshold:  opts.Threshold,
+		Limit:      opts.Limit,
+		Explain:    opts.Explain,
+	})
+}
+
+// planOptsOK rejects options that name a non-factorized algorithm: a plan
+// is a compiled factorized ranker, silently ignoring the algorithm would
+// rank with a different implementation than requested.
+func planOptsOK(opts RankOptions) error {
+	if opts.Algorithm != "" && opts.Algorithm != AlgorithmFactorized {
+		return fmt.Errorf("contextrank: rank plans implement the factorized algorithm, not %q", opts.Algorithm)
+	}
+	return nil
+}
+
+// RulesFingerprint hashes the registered rules; see
+// prefs.Repository.Fingerprint. Combined with the data epoch and context
+// state it keys compiled rank plans.
+func (s *System) RulesFingerprint() string { return s.repo.Fingerprint() }
+
+// ErrPlanClusterBound marks a plan compilation rejected because the
+// candidate-independent footprint partition produced a correlation cluster
+// too large to enumerate exactly. RankWith and RankCandidates fall back
+// internally and may still rank such a rule set; callers compiling plans
+// directly (e.g. a plan cache) should detect this with errors.Is and route
+// the request through RankNoPlan/RankCandidatesNoPlan, which skip the
+// doomed recompile.
+var ErrPlanClusterBound = core.ErrClusterBound
+
+// RankNoPlan ranks the target with the factorized per-candidate path,
+// skipping plan compilation entirely. Scores match RankWith exactly; the
+// only reason to call it is a cached ErrPlanClusterBound verdict.
+// opts.Algorithm must be empty or AlgorithmFactorized.
+func (s *System) RankNoPlan(user, target string, opts RankOptions) ([]Result, error) {
+	if err := planOptsOK(opts); err != nil {
+		return nil, err
+	}
+	targetExpr, err := dl.Parse(target)
+	if err != nil {
+		return nil, err
+	}
+	return s.factorized.RankPerCandidate(core.Request{
+		User:      user,
+		Target:    targetExpr,
+		Rules:     s.repo.Rules(),
+		Threshold: opts.Threshold,
+		Limit:     opts.Limit,
+		Explain:   opts.Explain,
+	})
+}
+
+// RankCandidatesNoPlan is RankNoPlan for an explicit candidate list.
+func (s *System) RankCandidatesNoPlan(user string, candidates []string, opts RankOptions) ([]Result, error) {
+	if err := planOptsOK(opts); err != nil {
+		return nil, err
+	}
+	return s.factorized.RankPerCandidate(core.Request{
+		User:       user,
+		Candidates: candidates,
+		Rules:      s.repo.Rules(),
+		Threshold:  opts.Threshold,
+		Limit:      opts.Limit,
+		Explain:    opts.Explain,
+	})
+}
+
+// RankCandidates scores an explicit candidate list for the user with the
+// repository's rules — RankQuery without the query, for callers that
+// already hold the candidate ids (e.g. the serving layer's batch
+// endpoint). The view algorithm is not supported (it ranks whole
+// concepts).
+func (s *System) RankCandidates(user string, candidates []string, opts RankOptions) ([]Result, error) {
+	ranker, err := s.ranker(opts.Algorithm, true)
+	if err != nil {
+		return nil, err
+	}
+	return ranker.Rank(core.Request{
+		User:       user,
+		Candidates: candidates,
+		Rules:      s.repo.Rules(),
+		Threshold:  opts.Threshold,
+		Limit:      opts.Limit,
+		Explain:    opts.Explain,
+	})
 }
 
 // GroupPolicy selects how member scores combine in RankGroup.
@@ -466,28 +621,7 @@ func (s *System) RankQuery(user, sqlQuery string, opts RankOptions) ([]Result, e
 		}
 		candidates = append(candidates, row[0].S)
 	}
-	if opts.Algorithm == AlgorithmView {
-		return nil, fmt.Errorf("contextrank: RankQuery does not support the view algorithm (it ranks whole concepts); use factorized, naive or sampled")
-	}
-	var ranker core.Ranker
-	switch opts.Algorithm {
-	case "", AlgorithmFactorized:
-		ranker = s.factorized
-	case AlgorithmNaive:
-		ranker = s.naive
-	case AlgorithmSampled:
-		ranker = s.sampled
-	default:
-		return nil, fmt.Errorf("contextrank: unknown algorithm %q", opts.Algorithm)
-	}
-	return ranker.Rank(core.Request{
-		User:       user,
-		Candidates: candidates,
-		Rules:      s.repo.Rules(),
-		Threshold:  opts.Threshold,
-		Limit:      opts.Limit,
-		Explain:    opts.Explain,
-	})
+	return s.RankCandidates(user, candidates, opts)
 }
 
 // Exec runs a SQL statement that may not return rows.

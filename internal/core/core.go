@@ -103,32 +103,10 @@ type ruleState struct {
 // the relevant events: the user's membership event in each context and
 // every candidate's membership event in each preference.
 func resolve(l *mapping.Loader, req Request) (candidates []string, states []*ruleState, err error) {
-	if req.User == "" {
-		return nil, nil, fmt.Errorf("core: request without a user")
+	candidates, err = resolveCandidates(l, req)
+	if err != nil {
+		return nil, nil, err
 	}
-	switch {
-	case req.Candidates != nil:
-		seen := make(map[string]bool, len(req.Candidates))
-		for _, id := range req.Candidates {
-			if !seen[id] {
-				seen[id] = true
-				candidates = append(candidates, id)
-			}
-		}
-	case req.Target != nil:
-		targetMembers, err := l.Members(req.Target)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: target: %w", err)
-		}
-		candidates = make([]string, 0, len(targetMembers))
-		for id := range targetMembers {
-			candidates = append(candidates, id)
-		}
-	default:
-		return nil, nil, fmt.Errorf("core: request needs a target concept or an explicit candidate list")
-	}
-	sort.Strings(candidates)
-
 	states = make([]*ruleState, 0, len(req.Rules))
 	for _, rule := range req.Rules {
 		if err := rule.Validate(); err != nil {
@@ -153,6 +131,39 @@ func resolve(l *mapping.Loader, req Request) (candidates []string, states []*rul
 		states = append(states, &ruleState{rule: rule, ctxEv: ctxEv, docEvs: docEvs})
 	}
 	return candidates, states, nil
+}
+
+// resolveCandidates determines the sorted, deduplicated candidate ids of a
+// request: the explicit candidate list if given, otherwise the members of
+// the target concept.
+func resolveCandidates(l *mapping.Loader, req Request) ([]string, error) {
+	if req.User == "" {
+		return nil, fmt.Errorf("core: request without a user")
+	}
+	var candidates []string
+	switch {
+	case req.Candidates != nil:
+		seen := make(map[string]bool, len(req.Candidates))
+		for _, id := range req.Candidates {
+			if !seen[id] {
+				seen[id] = true
+				candidates = append(candidates, id)
+			}
+		}
+	case req.Target != nil:
+		targetMembers, err := l.Members(req.Target)
+		if err != nil {
+			return nil, fmt.Errorf("core: target: %w", err)
+		}
+		candidates = make([]string, 0, len(targetMembers))
+		for id := range targetMembers {
+			candidates = append(candidates, id)
+		}
+	default:
+		return nil, fmt.Errorf("core: request needs a target concept or an explicit candidate list")
+	}
+	sort.Strings(candidates)
+	return candidates, nil
 }
 
 // finalize sorts, thresholds and truncates results.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/event"
@@ -25,8 +26,13 @@ import (
 //     cluster of m rules); a fully independent rule forms a singleton
 //     cluster whose factor costs O(1).
 //
-// With mutually independent rules — the common case, since sensor events
-// and data events are distinct — the cost is linear in the number of rules
+// Since the 2007 reproduction's first serving PRs, Rank is implemented by
+// compiling a Plan (see plan.go): pruning, clustering and the context-state
+// distributions depend only on the user's context and the rule set, so they
+// are resolved once per request instead of once per candidate, and only the
+// document-side distribution is evaluated per candidate. With mutually
+// independent rules — the common case, since sensor events and data events
+// are distinct — the per-candidate cost is linear in the number of rules
 // while the scores are bit-identical to the reference semantics up to
 // floating-point association order.
 type FactorizedRanker struct {
@@ -41,11 +47,69 @@ func NewFactorizedRanker(l *mapping.Loader) *FactorizedRanker {
 // Name implements Ranker.
 func (r *FactorizedRanker) Name() string { return "factorized" }
 
-// maxClusterRules bounds exact within-cluster enumeration.
+// maxClusterRules bounds exact within-cluster enumeration. Plan compilation
+// applies the bound to the footprint (candidate-independent) partition,
+// which can be coarser than the per-candidate one: two rules whose
+// preferences share an event for *any* document land in one cluster for
+// every document.
 const maxClusterRules = 16
 
-// Rank implements Ranker.
+// ErrClusterBound marks a correlation cluster too large to enumerate
+// exactly. Rank (and GroupRank, and the serving layer's plan cache) use it
+// to fall back from the coarse footprint partition to per-candidate
+// clustering, which only ever fails this way when a *single candidate's*
+// cluster exceeds the bound.
+var ErrClusterBound = errors.New("exceeds the exact-enumeration bound")
+
+// Rank implements Ranker by compiling a Plan for the request's user and
+// rules and scoring every candidate against it. When the plan's
+// candidate-independent partition produces a cluster past the enumeration
+// bound, Rank falls back to the per-candidate path: rules chained together
+// only through different documents' events (doc d couples rules A,B; doc e
+// couples B,C; …) stay in small per-candidate clusters there, so rule sets
+// the bound rejects at compile time may still rank fine — and ones that
+// do not fail with the same error they always did.
 func (r *FactorizedRanker) Rank(req Request) ([]Result, error) {
+	// An explicit candidate list restricts the footprint partition to those
+	// candidates' events: the plan lives for this request only, and walking
+	// the whole catalog's membership events to rank three candidates would
+	// cost more than the hoisting saves.
+	var only map[string]bool
+	if req.Candidates != nil {
+		only = make(map[string]bool, len(req.Candidates))
+		for _, id := range req.Candidates {
+			only[id] = true
+		}
+	}
+	plan, err := compilePlan(r.loader, req.User, req.Rules, only)
+	if err != nil {
+		if errors.Is(err, ErrClusterBound) {
+			return r.legacyRank(req)
+		}
+		return nil, err
+	}
+	return plan.Rank(PlanRequest{
+		Target:     req.Target,
+		Candidates: req.Candidates,
+		Threshold:  req.Threshold,
+		Limit:      req.Limit,
+		Explain:    req.Explain,
+	})
+}
+
+// RankPerCandidate is the pre-plan implementation: it re-runs rule
+// clustering and the full within-cluster state enumeration for every
+// candidate. Callers that already know plan compilation fails with
+// ErrClusterBound (e.g. a plan cache holding a negative verdict) route
+// here directly to skip the doomed recompile; it also serves as a second
+// executable reference for the equivalence tests and as
+// BenchmarkPlanScoreLargeCatalog's baseline.
+func (r *FactorizedRanker) RankPerCandidate(req Request) ([]Result, error) {
+	return r.legacyRank(req)
+}
+
+// legacyRank is RankPerCandidate's implementation.
+func (r *FactorizedRanker) legacyRank(req Request) ([]Result, error) {
 	candidates, states, err := resolve(r.loader, req)
 	if err != nil {
 		return nil, err
@@ -66,7 +130,10 @@ func (r *FactorizedRanker) Rank(req Request) ([]Result, error) {
 
 	results := make([]Result, 0, len(candidates))
 	for _, id := range candidates {
-		clusters := clusterRules(space, active, id)
+		clusters, err := clusterRules(space, active, id)
+		if err != nil {
+			return nil, err
+		}
 		score := 1.0
 		for _, cl := range clusters {
 			f, err := clusterFactor(space, cl, id)
@@ -89,7 +156,11 @@ func (r *FactorizedRanker) Rank(req Request) ([]Result, error) {
 
 // clusterRules partitions the active rules into groups of mutually
 // dependent rules using union-find over the Space's independence relation.
-func clusterRules(space *event.Space, states []*ruleState, id string) [][]*ruleState {
+// An Independent probe that fails (e.g. a membership event referencing a
+// retired basic) aborts the clustering: treating the error as "dependent"
+// would silently merge clusters and then fail later — or worse, enumerate a
+// cluster whose probabilities are undefined.
+func clusterRules(space *event.Space, states []*ruleState, id string) ([][]*ruleState, error) {
 	n := len(states)
 	parent := make([]int, n)
 	for i := range parent {
@@ -112,7 +183,11 @@ func clusterRules(space *event.Space, states []*ruleState, id string) [][]*ruleS
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			indep, err := space.Independent(joint[i], joint[j])
-			if err != nil || !indep {
+			if err != nil {
+				return nil, fmt.Errorf("core: clustering rules %s and %s: %w",
+					states[i].rule.Name, states[j].rule.Name, err)
+			}
+			if !indep {
 				union(i, j)
 			}
 		}
@@ -130,7 +205,7 @@ func clusterRules(space *event.Space, states []*ruleState, id string) [][]*ruleS
 	for _, r := range roots {
 		out = append(out, byRoot[r])
 	}
-	return out
+	return out, nil
 }
 
 // clusterFactor computes the cluster's expected factor product under the
@@ -158,7 +233,7 @@ func clusterFactor(space *event.Space, cluster []*ruleState, id string) (float64
 		return (1 - pC) + pC*(s*pX+(1-s)*(1-pX)), nil
 	}
 	if m > maxClusterRules {
-		return 0, fmt.Errorf("core: correlation cluster of %d rules exceeds the exact-enumeration bound %d", m, maxClusterRules)
+		return 0, fmt.Errorf("core: correlation cluster of %d rules %w %d", m, ErrClusterBound, maxClusterRules)
 	}
 	// Pre-compute the context-state and document-state distributions.
 	ctxProbs := make([]float64, 1<<m)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -62,20 +63,60 @@ func GroupRank(ranker Ranker, req GroupRequest) ([]GroupResult, error) {
 		policy = PolicyConsensus
 	}
 	perDoc := make(map[string]map[string]float64)
-	for _, user := range req.Users {
-		results, err := ranker.Rank(Request{
-			User:   user,
-			Target: req.Target,
-			Rules:  req.RulesFor[user],
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: group member %s: %w", user, err)
+	record := func(id, user string, score float64) {
+		if perDoc[id] == nil {
+			perDoc[id] = make(map[string]float64, len(req.Users))
 		}
+		perDoc[id][user] = score
+	}
+	recordAll := func(user string, results []Result) {
 		for _, r := range results {
-			if perDoc[r.ID] == nil {
-				perDoc[r.ID] = make(map[string]float64, len(req.Users))
+			record(r.ID, user, r.Score)
+		}
+	}
+	if fr, ok := ranker.(*FactorizedRanker); ok {
+		// Plan fast path: resolve the target's members once for the whole
+		// group, then compile one plan per member instead of re-resolving
+		// target and rules user by user.
+		candidates, err := resolveCandidates(fr.loader, Request{User: req.Users[0], Target: req.Target})
+		if err != nil {
+			return nil, err
+		}
+		for _, user := range req.Users {
+			plan, err := CompilePlan(fr.loader, user, req.RulesFor[user])
+			if err != nil {
+				if errors.Is(err, ErrClusterBound) {
+					// Same fallback as FactorizedRanker.Rank: this member's
+					// footprint partition is too coarse, but per-candidate
+					// clusters may still be small.
+					results, lerr := fr.legacyRank(Request{User: user, Candidates: candidates, Rules: req.RulesFor[user]})
+					if lerr != nil {
+						return nil, fmt.Errorf("core: group member %s: %w", user, lerr)
+					}
+					recordAll(user, results)
+					continue
+				}
+				return nil, fmt.Errorf("core: group member %s: %w", user, err)
 			}
-			perDoc[r.ID][user] = r.Score
+			for _, id := range candidates {
+				score, err := plan.Score(id)
+				if err != nil {
+					return nil, fmt.Errorf("core: group member %s: %w", user, err)
+				}
+				record(id, user, score)
+			}
+		}
+	} else {
+		for _, user := range req.Users {
+			results, err := ranker.Rank(Request{
+				User:   user,
+				Target: req.Target,
+				Rules:  req.RulesFor[user],
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: group member %s: %w", user, err)
+			}
+			recordAll(user, results)
 		}
 	}
 	out := make([]GroupResult, 0, len(perDoc))

@@ -36,7 +36,7 @@ func (r *NaiveRanker) Rank(req Request) ([]Result, error) {
 	space := r.loader.DB().Space()
 	k := len(states)
 	if k > 20 {
-		return nil, fmt.Errorf("core: naive ranker limited to 20 rules (2^k state enumeration), got %d", k)
+		return nil, fmt.Errorf("core: naive ranker limited to 20 rules (Θ(4^k) double enumeration of context- and document-feature states), got %d", k)
 	}
 
 	// Pre-compute the probability of every context-feature state g ⊆ rules.

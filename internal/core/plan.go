@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dl"
+	"repro/internal/event"
+	"repro/internal/mapping"
+	"repro/internal/prefs"
+)
+
+// Plan is a compiled ranking plan: everything about a (user, rule set,
+// context epoch) triple that does not depend on the candidate being scored,
+// resolved once so that scoring a catalog of n documents costs n× the
+// document-side work only. Compilation performs the §6 "early stages" of
+// the factorized ranker up front:
+//
+//  1. Rule contexts are resolved to the user's membership events and rules
+//     whose context cannot apply (probability 0) are pruned.
+//  2. Every rule's preference view is compiled and its membership events
+//     fetched for the whole catalog.
+//  3. The surviving rules are partitioned into correlation clusters by
+//     their basic-event footprint — the correlated blocks mentioned by the
+//     rule's context event or by any of its preference membership events.
+//     Rules in different clusters touch disjoint blocks for *every*
+//     candidate, so the expectation factorizes across clusters. (This
+//     replaces the per-candidate union-find over Space.Independent probes:
+//     the footprint partition is candidate-independent and may therefore be
+//     slightly coarser than the per-candidate one, which changes only
+//     floating-point association order, never the semantics.)
+//  4. Per multi-rule cluster the 2^m context-state probability table is
+//     precomputed; singleton clusters store the scalar context probability.
+//
+// Score then evaluates only the document-state distribution per candidate.
+// A Plan is immutable after compilation and safe for concurrent use, but it
+// answers for the state it was compiled against: the context-state
+// distribution is frozen at compile time, so a plan used after the context
+// changed keeps ranking under the old context, and a plan whose document
+// events were retired (data mutation) fails with "not declared". Callers
+// that reuse plans must therefore invalidate them on every data *and*
+// context epoch — internal/serve's plan cache keys them by exactly those.
+type Plan struct {
+	loader *mapping.Loader
+	space  *event.Space
+	user   string
+
+	rules    []planRule    // every requested rule, in request order
+	clusters []planCluster // active (unpruned) rules only
+}
+
+// planRule is one rule's candidate-independent compilation product.
+type planRule struct {
+	rule    prefs.Rule
+	ctxEv   *event.Expr
+	ctxProb float64
+	// members maps candidate id -> preference membership event for every
+	// individual the preference view contains; absent ids are non-members
+	// (event.False()).
+	members map[string]*event.Expr
+}
+
+// docEv returns the candidate's membership event in the rule's preference.
+func (pr *planRule) docEv(id string) *event.Expr {
+	if ev, ok := pr.members[id]; ok {
+		return ev
+	}
+	return event.False()
+}
+
+// planCluster is one correlation cluster of active rules.
+type planCluster struct {
+	rules []int // indices into Plan.rules, ascending request order
+	// ctxProbs is the precomputed context-state distribution over the
+	// cluster's rules (index = bitmask of "rule context applies"); nil for
+	// singleton clusters, whose factor uses ctxProb directly.
+	ctxProbs []float64
+}
+
+// CompilePlan resolves and compiles the rules for one situated user. The
+// compile cost is paid once per (user, rule set, context epoch) instead of
+// once per candidate; see the Plan type comment for what is hoisted.
+func CompilePlan(l *mapping.Loader, user string, rules []prefs.Rule) (*Plan, error) {
+	return compilePlan(l, user, rules, nil)
+}
+
+// compilePlan is CompilePlan with an optional candidate restriction: when
+// only is non-nil, the footprint partition considers just those candidates'
+// preference-membership events. A restricted plan is valid only for
+// candidates in the set — the per-request path uses it so a 3-candidate
+// RankQuery over a 100k-member preference does not walk 100k events'
+// blocks; cacheable catalog-wide plans pass nil.
+func compilePlan(l *mapping.Loader, user string, rules []prefs.Rule, only map[string]bool) (*Plan, error) {
+	if user == "" {
+		return nil, fmt.Errorf("core: request without a user")
+	}
+	space := l.DB().Space()
+	p := &Plan{loader: l, space: space, user: user}
+
+	p.rules = make([]planRule, 0, len(rules))
+	for _, rule := range rules {
+		if err := rule.Validate(); err != nil {
+			return nil, err
+		}
+		ctxEv, err := l.MembershipEvent(rule.Context, user)
+		if err != nil {
+			return nil, fmt.Errorf("core: rule %s context: %w", rule.Name, err)
+		}
+		pCtx, err := space.Prob(ctxEv)
+		if err != nil {
+			return nil, fmt.Errorf("core: rule %s context: %w", rule.Name, err)
+		}
+		members, err := l.Members(rule.Preference)
+		if err != nil {
+			return nil, fmt.Errorf("core: rule %s preference: %w", rule.Name, err)
+		}
+		p.rules = append(p.rules, planRule{rule: rule, ctxEv: ctxEv, ctxProb: pCtx, members: members})
+	}
+
+	if err := p.compileClusters(only); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// compileClusters prunes impossible contexts, partitions the active rules
+// by basic-event footprint and precomputes the per-cluster context-state
+// tables. only, when non-nil, restricts the document-side footprint to
+// those candidates (see compilePlan).
+func (p *Plan) compileClusters(only map[string]bool) error {
+	var active []int
+	for i := range p.rules {
+		if p.rules[i].ctxProb > 0 {
+			active = append(active, i)
+		}
+	}
+
+	// Union-find over the active rules, merging rules whose footprints
+	// share a correlated block. blockOwner maps each block key to the
+	// first active rule that mentioned it.
+	parent := make([]int, len(active))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	blockOwner := make(map[string]int)
+	footprint := make(map[string]bool)
+	for ai, ri := range active {
+		clear(footprint)
+		st := &p.rules[ri]
+		if err := p.space.Blocks(st.ctxEv, footprint); err != nil {
+			return fmt.Errorf("core: rule %s context: %w", st.rule.Name, err)
+		}
+		if only == nil {
+			for _, ev := range st.members {
+				if err := p.space.Blocks(ev, footprint); err != nil {
+					return fmt.Errorf("core: rule %s preference: %w", st.rule.Name, err)
+				}
+			}
+		} else {
+			for id := range only {
+				if ev, ok := st.members[id]; ok {
+					if err := p.space.Blocks(ev, footprint); err != nil {
+						return fmt.Errorf("core: rule %s preference: %w", st.rule.Name, err)
+					}
+				}
+			}
+		}
+		for key := range footprint {
+			if owner, ok := blockOwner[key]; ok {
+				parent[find(ai)] = find(owner)
+			} else {
+				blockOwner[key] = ai
+			}
+		}
+	}
+
+	byRoot := make(map[int][]int)
+	var roots []int
+	for ai, ri := range active {
+		root := find(ai)
+		if _, ok := byRoot[root]; !ok {
+			roots = append(roots, root)
+		}
+		byRoot[root] = append(byRoot[root], ri)
+	}
+
+	p.clusters = make([]planCluster, 0, len(roots))
+	for _, root := range roots {
+		cl := planCluster{rules: byRoot[root]}
+		m := len(cl.rules)
+		if m > maxClusterRules {
+			return fmt.Errorf("core: correlation cluster of %d rules %w %d", m, ErrClusterBound, maxClusterRules)
+		}
+		if m > 1 {
+			// Precompute the context-state distribution, exactly as the
+			// per-candidate path did — identical expressions, so the event
+			// space's memo keys match too.
+			cl.ctxProbs = make([]float64, 1<<m)
+			for mask := 0; mask < 1<<m; mask++ {
+				ctxConj := make([]*event.Expr, m)
+				for i, ri := range cl.rules {
+					if mask&(1<<i) != 0 {
+						ctxConj[i] = p.rules[ri].ctxEv
+					} else {
+						ctxConj[i] = event.Not(p.rules[ri].ctxEv)
+					}
+				}
+				prob, err := p.space.Prob(event.And(ctxConj...))
+				if err != nil {
+					return err
+				}
+				cl.ctxProbs[mask] = prob
+			}
+		}
+		p.clusters = append(p.clusters, cl)
+	}
+	return nil
+}
+
+// User returns the situated user the plan was compiled for.
+func (p *Plan) User() string { return p.user }
+
+// Rules returns the number of rules the plan was compiled from (including
+// pruned ones).
+func (p *Plan) Rules() int { return len(p.rules) }
+
+// ActiveRules returns the number of rules whose context can apply.
+func (p *Plan) ActiveRules() int {
+	n := 0
+	for _, cl := range p.clusters {
+		n += len(cl.rules)
+	}
+	return n
+}
+
+// Score computes the candidate's ideal-document probability under the
+// plan's compiled rule set: only the document-side distribution is
+// evaluated here, the context side was resolved at compile time.
+func (p *Plan) Score(id string) (float64, error) {
+	score := 1.0
+	for i := range p.clusters {
+		f, err := p.clusterScore(&p.clusters[i], id)
+		if err != nil {
+			return 0, err
+		}
+		score *= f
+	}
+	return score, nil
+}
+
+// clusterScore computes one cluster's expected factor for the candidate —
+// the same §3.3 semantics as the pre-plan clusterFactor, with the
+// context-side tables read instead of recomputed.
+func (p *Plan) clusterScore(cl *planCluster, id string) (float64, error) {
+	if len(cl.rules) == 1 {
+		// Singleton fast path: factor = (1−pC) + pC·(σ·pX + (1−σ)(1−pX)).
+		st := &p.rules[cl.rules[0]]
+		pX, err := p.space.Prob(st.docEv(id))
+		if err != nil {
+			return 0, err
+		}
+		s := st.rule.Sigma
+		pC := st.ctxProb
+		return (1 - pC) + pC*(s*pX+(1-s)*(1-pX)), nil
+	}
+	m := len(cl.rules)
+	docProbs := make([]float64, 1<<m)
+	for mask := 0; mask < 1<<m; mask++ {
+		docConj := make([]*event.Expr, m)
+		for i, ri := range cl.rules {
+			if mask&(1<<i) != 0 {
+				docConj[i] = p.rules[ri].docEv(id)
+			} else {
+				docConj[i] = event.Not(p.rules[ri].docEv(id))
+			}
+		}
+		prob, err := p.space.Prob(event.And(docConj...))
+		if err != nil {
+			return 0, err
+		}
+		docProbs[mask] = prob
+	}
+	total := 0.0
+	for g := 0; g < 1<<m; g++ {
+		if cl.ctxProbs[g] == 0 {
+			continue
+		}
+		inner := 0.0
+		for f := 0; f < 1<<m; f++ {
+			if docProbs[f] == 0 {
+				continue
+			}
+			prod := 1.0
+			for i, ri := range cl.rules {
+				if g&(1<<i) == 0 {
+					continue
+				}
+				if f&(1<<i) != 0 {
+					prod *= p.rules[ri].rule.Sigma
+				} else {
+					prod *= 1 - p.rules[ri].rule.Sigma
+				}
+			}
+			inner += docProbs[f] * prod
+		}
+		total += cl.ctxProbs[g] * inner
+	}
+	return total, nil
+}
+
+// Explain builds the per-rule contribution trace for one candidate from
+// the compiled context probabilities.
+func (p *Plan) Explain(id string) (*Explanation, error) {
+	ex := &Explanation{}
+	for i := range p.rules {
+		st := &p.rules[i]
+		if st.ctxProb == 0 {
+			ex.Rules = append(ex.Rules, RuleContribution{Rule: st.rule.Name, Sigma: st.rule.Sigma, Pruned: true, Factor: 1})
+			continue
+		}
+		pDoc, err := p.space.Prob(st.docEv(id))
+		if err != nil {
+			return nil, err
+		}
+		s := st.rule.Sigma
+		pCtx := st.ctxProb
+		factor := pCtx*(pDoc*s+(1-pDoc)*(1-s)) + (1 - pCtx)
+		ex.Rules = append(ex.Rules, RuleContribution{
+			Rule:        st.rule.Name,
+			ContextProb: pCtx,
+			MemberProb:  pDoc,
+			Sigma:       s,
+			Factor:      factor,
+		})
+	}
+	return ex, nil
+}
+
+// PlanRequest describes one ranking task against an already compiled plan:
+// Request minus the user and rules, which the plan owns.
+type PlanRequest struct {
+	Target     *dl.Expr // candidate concept; nil when Candidates is set
+	Candidates []string // explicit candidate list (see Request.Candidates)
+	Threshold  float64
+	Limit      int
+	Explain    bool
+}
+
+// Rank scores the request's candidates with the compiled plan and returns
+// them ordered, thresholded and truncated exactly like Ranker.Rank.
+func (p *Plan) Rank(req PlanRequest) ([]Result, error) {
+	candidates, err := resolveCandidates(p.loader, Request{
+		User:       p.user,
+		Target:     req.Target,
+		Candidates: req.Candidates,
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, 0, len(candidates))
+	for _, id := range candidates {
+		score, err := p.Score(id)
+		if err != nil {
+			return nil, err
+		}
+		res := Result{ID: id, Score: score}
+		if req.Explain {
+			res.Explanation, err = p.Explain(id)
+			if err != nil {
+				return nil, err
+			}
+		}
+		results = append(results, res)
+	}
+	return finalize(Request{Threshold: req.Threshold, Limit: req.Limit}, results), nil
+}

@@ -1,0 +1,112 @@
+// Benchmarks for compiled rank plans: the compile cost paid once per
+// (user, rule set, context epoch), and the per-candidate scoring cost of
+// the plan path versus the retained pre-plan factorized implementation.
+// CI gates these through internal/ci/benchcheck (BENCH_rank.json) next to
+// the serving benchmarks.
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dl"
+	"repro/internal/prefs"
+	"repro/internal/workload"
+)
+
+// planBenchSetup builds a TV-watcher catalog of the given size with k
+// uncertain-context rules (no pruning, fresh context events — the rankers'
+// worst case).
+func planBenchSetup(b *testing.B, programs, k int) (*workload.Dataset, []prefs.Rule) {
+	b.Helper()
+	spec := workload.Spec{
+		Seed:                 1,
+		Persons:              50,
+		Programs:             programs,
+		Genres:               12,
+		Subjects:             6,
+		Activities:           4,
+		Rooms:                5,
+		WatchEvents:          programs,
+		UncertainFeatureProb: 0.5,
+	}
+	d, err := workload.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.ApplyBenchContext(k, false); err != nil {
+		b.Fatal(err)
+	}
+	rules, err := d.Rules(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, rules
+}
+
+// BenchmarkFactorizedPlanCompile measures one plan compilation — rule
+// resolution, preference-view membership fetch, pruning, footprint
+// clustering, context tables — over a 1000-document catalog with 8 rules.
+func BenchmarkFactorizedPlanCompile(b *testing.B) {
+	d, rules := planBenchSetup(b, 1000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := CompilePlan(d.Loader, d.User, rules)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.ActiveRules() != len(rules) {
+			b.Fatalf("pruned %d rules unexpectedly", len(rules)-plan.ActiveRules())
+		}
+	}
+}
+
+// BenchmarkPlanScoreLargeCatalog measures a full uncached rank of the
+// whole catalog with 8 rules: the compiled-plan path at 100/1k/10k
+// candidates, and the pre-plan per-candidate path (which re-runs
+// clustering and the context distributions for every document) as the
+// baseline at 100/1k. The ns/op ratio at matching sizes is the recorded
+// RANK-PLAN speedup in EXPERIMENTS.md.
+func BenchmarkPlanScoreLargeCatalog(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("plan/candidates=%d", n), func(b *testing.B) {
+			d, rules := planBenchSetup(b, n, 8)
+			// Compile once, rank many times: the serving layer's steady
+			// state, where the plan cache hands every uncached rank the
+			// compiled plan (BenchmarkFactorizedPlanCompile prices the
+			// compile itself).
+			plan, err := CompilePlan(d.Loader, d.User, rules)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req := PlanRequest{Target: dl.Atom("TvProgram")}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := plan.Rank(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != n {
+					b.Fatalf("%d results, want %d", len(res), n)
+				}
+			}
+		})
+	}
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("legacy/candidates=%d", n), func(b *testing.B) {
+			d, rules := planBenchSetup(b, n, 8)
+			ranker := NewFactorizedRanker(d.Loader)
+			req := Request{User: d.User, Target: dl.Atom("TvProgram"), Rules: rules}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := ranker.legacyRank(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != n {
+					b.Fatalf("%d results, want %d", len(res), n)
+				}
+			}
+		})
+	}
+}

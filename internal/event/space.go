@@ -460,6 +460,35 @@ func (s *Space) enumerate(e *Expr) (float64, error) {
 	return rec(0, 1), nil
 }
 
+// Blocks adds the canonical correlated-block keys of every basic event
+// mentioned by e into dst: an independent basic contributes its own name,
+// an exclusive-group member contributes its group's key (shared by all
+// members). Two expressions are independent exactly when their block-key
+// sets are disjoint, so callers can partition many expressions into
+// correlation clusters with one pass per expression instead of O(n²)
+// Independent probes. It is an error if e mentions an undeclared basic
+// event (e.g. one that was retired).
+func (s *Space) Blocks(e *Expr, dst map[string]bool) error {
+	names := e.Basics()
+	if len(names) == 0 {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, n := range names {
+		info, ok := s.basics[n]
+		if !ok {
+			return fmt.Errorf("event: basic event %q not declared", n)
+		}
+		if info.group == -1 {
+			dst["b:"+n] = true
+		} else {
+			dst[fmt.Sprintf("g:%d", info.group)] = true
+		}
+	}
+	return nil
+}
+
 // Independent reports whether two expressions mention disjoint sets of
 // correlated blocks, i.e. whether P(a ∧ b) = P(a)·P(b) is guaranteed by the
 // independence structure of the space.

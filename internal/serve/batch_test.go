@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	contextrank "repro"
+	"repro/internal/event"
+	"repro/internal/workload"
+)
+
+// batchServer builds a serving stack over the small TV-watcher dataset
+// with k rules and a session for person0000.
+func batchServer(t testing.TB, k int) (*Server, string) {
+	t.Helper()
+	sys := contextrank.NewSystem()
+	if _, err := workload.LoadBench(sys.Loader(), sys.Rules(), workload.SmallSpec(), k); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sys, Options{})
+	user := "person0000"
+	var ms []Measurement
+	for i := 0; i < k; i++ {
+		if i%2 == 0 {
+			ms = append(ms, Measurement{Concept: workload.BenchContextConcept(i), Prob: 0.9})
+		}
+	}
+	if _, err := srv.Sessions().Set(user, ms); err != nil {
+		t.Fatal(err)
+	}
+	return srv, user
+}
+
+// TestRankBatchMatchesSingleRanks: every batch item must return exactly
+// what the equivalent single Rank / candidate-list call returns.
+func TestRankBatchMatchesSingleRanks(t *testing.T) {
+	srv, user := batchServer(t, 4)
+	items := []RankItem{
+		{Target: "TvProgram", Limit: 5},
+		{Target: "TvProgram", Limit: 5, Explain: true},
+		{Candidates: []string{"tv000", "tv001", "tv002"}},
+	}
+	got, meta, err := srv.RankBatch(user, "", items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("%d item results, want %d", len(got), len(items))
+	}
+	if meta.Cached {
+		t.Fatal("fresh batch reported fully cached")
+	}
+	for i, item := range got {
+		if item.Err != nil {
+			t.Fatalf("item %d: %v", i, item.Err)
+		}
+	}
+
+	single, _, err := srv.Rank(user, "TvProgram", contextrank.RankOptions{Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single) != len(got[0].Results) {
+		t.Fatalf("batch target item returned %d results, single rank %d", len(got[0].Results), len(single))
+	}
+	for i := range single {
+		if single[i].ID != got[0].Results[i].ID || math.Abs(single[i].Score-got[0].Results[i].Score) > 1e-12 {
+			t.Fatalf("batch/single divergence at %d: %+v vs %+v", i, got[0].Results[i], single[i])
+		}
+	}
+	if got[1].Results[0].Explanation == nil {
+		t.Fatal("explain batch item carried no explanation")
+	}
+	var viaFacade []contextrank.Result
+	err = srv.Facade().WithRead(func(sys *contextrank.System) error {
+		r, rerr := sys.RankCandidates(user, []string{"tv000", "tv001", "tv002"}, contextrank.RankOptions{})
+		viaFacade = r
+		return rerr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaFacade) != len(got[2].Results) {
+		t.Fatalf("candidate item returned %d results, want %d", len(got[2].Results), len(viaFacade))
+	}
+	for i := range viaFacade {
+		if viaFacade[i].ID != got[2].Results[i].ID || math.Abs(viaFacade[i].Score-got[2].Results[i].Score) > 1e-12 {
+			t.Fatalf("candidate batch divergence at %d", i)
+		}
+	}
+
+	// A second identical batch: target items now come from the rank cache,
+	// and the whole batch reuses the compiled plan.
+	got2, meta2, err := srv.RankBatch(user, "", items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2[0].Cached || !got2[1].Cached {
+		t.Fatalf("repeat batch target items not cached: %+v", []bool{got2[0].Cached, got2[1].Cached})
+	}
+	if meta2.Cached {
+		t.Fatal("batch with a candidate-list item cannot be fully cached")
+	}
+	st := srv.Stats()
+	if st.Plans.Hits == 0 {
+		t.Fatalf("plan cache recorded no hits across batches: %+v", st.Plans)
+	}
+	if st.Plans.Size != 1 {
+		t.Fatalf("plan cache holds %d plans, want 1 (same user, epoch, rules)", st.Plans.Size)
+	}
+}
+
+// TestRankBatchPerItemErrors: a bad item fails alone; the rest of the
+// batch still ranks.
+func TestRankBatchPerItemErrors(t *testing.T) {
+	srv, user := batchServer(t, 2)
+	got, _, err := srv.RankBatch(user, "", []RankItem{
+		{Target: "TvProgram", Limit: 3},
+		{Target: "NOT ) VALID ("},
+		{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Err != nil || len(got[0].Results) == 0 {
+		t.Fatalf("good item failed: %v", got[0].Err)
+	}
+	if got[1].Err == nil {
+		t.Fatal("bad target expression did not fail its item")
+	}
+	if got[2].Err == nil {
+		t.Fatal("empty item did not fail")
+	}
+
+	// Batch-level failures: no user, no items, unknown algorithm.
+	if _, _, err := srv.RankBatch("", "", []RankItem{{Target: "TvProgram"}}); err == nil {
+		t.Fatal("empty user accepted")
+	}
+	if _, _, err := srv.RankBatch(user, "", nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, _, err := srv.RankBatch(user, "nonsense", []RankItem{{Target: "TvProgram"}}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// TestRankBatchAlgorithms: naive batches agree with factorized batches
+// (same semantics), and the view algorithm fails candidate items only.
+func TestRankBatchAlgorithms(t *testing.T) {
+	srv, user := batchServer(t, 3)
+	items := []RankItem{{Target: "TvProgram"}, {Candidates: []string{"tv000", "tv001"}}}
+	fact, _, err := srv.RankBatch(user, contextrank.AlgorithmFactorized, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, _, err := srv.RankBatch(user, contextrank.AlgorithmNaive, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fact {
+		if fact[i].Err != nil || naive[i].Err != nil {
+			t.Fatalf("item %d errored: %v / %v", i, fact[i].Err, naive[i].Err)
+		}
+		if len(fact[i].Results) != len(naive[i].Results) {
+			t.Fatalf("item %d: %d vs %d results", i, len(fact[i].Results), len(naive[i].Results))
+		}
+		for j := range fact[i].Results {
+			if math.Abs(fact[i].Results[j].Score-naive[i].Results[j].Score) > 1e-9 {
+				t.Fatalf("item %d result %d: factorized %g, naive %g",
+					i, j, fact[i].Results[j].Score, naive[i].Results[j].Score)
+			}
+		}
+	}
+	view, _, err := srv.RankBatch(user, contextrank.AlgorithmView, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view[0].Err != nil {
+		t.Fatalf("view target item failed: %v", view[0].Err)
+	}
+	if view[1].Err == nil {
+		t.Fatal("view candidate item did not fail")
+	}
+}
+
+// TestPlanCacheInvalidation: session applies (context epoch), rule changes
+// and data writes (facade epoch) must each invalidate cached plans.
+func TestPlanCacheInvalidation(t *testing.T) {
+	srv, user := batchServer(t, 4)
+	// Every probe uses a fresh limit so it always misses the rank-result
+	// cache and consults the plan cache (a result-cache hit never needs a
+	// plan — person0001's session update below changes neither person0000's
+	// fingerprint nor the epoch, which is exactly the point).
+	limit := 0
+	rank := func() {
+		t.Helper()
+		limit++
+		if _, _, err := srv.Rank(user, "TvProgram", contextrank.RankOptions{Limit: limit}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rank()
+	misses := srv.plans.misses.Load()
+
+	// Same state: a distinct request shares the compiled plan.
+	rank()
+	if got := srv.plans.misses.Load(); got != misses {
+		t.Fatalf("second target recompiled the plan (misses %d -> %d)", misses, got)
+	}
+
+	// A session update (any user's) bumps the context epoch.
+	if _, err := srv.Sessions().Set("person0001", []Measurement{{Concept: workload.BenchContextConcept(0), Prob: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	rank()
+	if got := srv.plans.misses.Load(); got != misses+1 {
+		t.Fatalf("session apply did not invalidate the plan (misses %d -> %d)", misses, got)
+	}
+	misses = srv.plans.misses.Load()
+
+	// A rule change bumps the facade epoch (and the rules fingerprint).
+	if _, _, err := srv.AddRules([]string{"RULE PLANX WHEN BenchCtx0 PREFER TvProgram WITH 0.6"}); err != nil {
+		t.Fatal(err)
+	}
+	rank()
+	if got := srv.plans.misses.Load(); got != misses+1 {
+		t.Fatalf("rule change did not invalidate the plan (misses %d -> %d)", misses, got)
+	}
+	misses = srv.plans.misses.Load()
+
+	// A data write bumps the facade epoch.
+	if err := srv.Facade().AssertRole("watched", user, "tv001", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	rank()
+	if got := srv.plans.misses.Load(); got != misses+1 {
+		t.Fatalf("data write did not invalidate the plan (misses %d -> %d)", misses, got)
+	}
+}
+
+// TestRankClusterBoundFallback: a rule set whose candidate-independent
+// footprint partition exceeds the plan cluster bound must still rank
+// through the serve layer (single and batch) via the per-candidate
+// fallback instead of erroring.
+func TestRankClusterBoundFallback(t *testing.T) {
+	sys := contextrank.NewSystem()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(sys.DeclareConcept("Doc", "ChainCtx"))
+	n := 17 // maxClusterRules + 1
+	l, space := sys.Loader(), sys.DB().Space()
+	for i := 0; i < n; i++ {
+		must(sys.DeclareConcept(fmt.Sprintf("F%02d", i)))
+		must(space.Declare(fmt.Sprintf("chain%02d", i), 0.5))
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("d%02d", i)
+		must(l.AssertConcept("Doc", id, nil))
+		// d_i couples rules i and i+1 through one shared event: every rule
+		// chains into one coarse cluster, but any single candidate touches
+		// at most two rules.
+		ev := event.Basic(fmt.Sprintf("chain%02d", i))
+		must(l.AssertConcept(fmt.Sprintf("F%02d", i), id, ev))
+		if i+1 < n {
+			must(l.AssertConcept(fmt.Sprintf("F%02d", i+1), id, ev))
+		}
+	}
+	for i := 0; i < n; i++ {
+		_, err := sys.AddRule(fmt.Sprintf("RULE r%02d WHEN ChainCtx PREFER F%02d WITH 0.6", i, i))
+		must(err)
+	}
+	srv := NewServer(sys, Options{})
+	if _, err := srv.Sessions().Set("chainuser", []Measurement{{Concept: "ChainCtx", Prob: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// With the context applied (rules active), the coarse footprint
+	// partition chains every rule into one oversized cluster.
+	err := srv.Facade().WithRead(func(sys *contextrank.System) error {
+		_, cerr := sys.CompileRankPlan("chainuser")
+		return cerr
+	})
+	if err == nil {
+		t.Fatal("chained rule set compiled into a plan")
+	} else if !errors.Is(err, contextrank.ErrPlanClusterBound) {
+		t.Fatalf("compile error = %v, want ErrPlanClusterBound", err)
+	}
+	res, _, err := srv.Rank("chainuser", "Doc", contextrank.RankOptions{})
+	if err != nil {
+		t.Fatalf("single rank did not fall back: %v", err)
+	}
+	if len(res) != n {
+		t.Fatalf("%d results, want %d", len(res), n)
+	}
+	batch, _, err := srv.RankBatch("chainuser", "", []RankItem{
+		{Target: "Doc", Limit: 5},
+		{Candidates: []string{"d00", "d01"}},
+	})
+	if err != nil {
+		t.Fatalf("batch did not fall back: %v", err)
+	}
+	for i, item := range batch {
+		if item.Err != nil {
+			t.Fatalf("batch item %d: %v", i, item.Err)
+		}
+	}
+	// The bound verdict is negatively cached: one entry, and the repeat
+	// requests above hit it instead of recompiling.
+	if size := srv.plans.size.Load(); size != 1 {
+		t.Fatalf("plan cache holds %d entries, want 1 negative verdict", size)
+	}
+	if hits := srv.plans.hits.Load(); hits == 0 {
+		t.Fatal("repeat bound-exceeding requests never hit the negative verdict")
+	}
+}
+
+// TestHTTPRankBatch drives the batch endpoint over HTTP, including the
+// sharded coordinator (the batch must land on the user's shard).
+func TestHTTPRankBatch(t *testing.T) {
+	srv, user := batchServer(t, 4)
+	ts := httptest.NewServer(NewHandler(srv))
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"user":%q,"items":[
+		{"target":"TvProgram","limit":3},
+		{"candidates":["tv000","tv001"]},
+		{"target":"NOT ) VALID ("}
+	]}`, user)
+	var resp struct {
+		Items []struct {
+			Results []struct {
+				ID    string  `json:"id"`
+				Score float64 `json:"score"`
+			} `json:"results"`
+			Cached bool   `json:"cached"`
+			Error  string `json:"error"`
+		} `json:"items"`
+		Epoch  int64 `json:"epoch"`
+		Micros int64 `json:"micros"`
+	}
+	call(t, ts, "POST", "/v1/rank/batch", body, http.StatusOK, &resp)
+	if len(resp.Items) != 3 {
+		t.Fatalf("%d items, want 3", len(resp.Items))
+	}
+	if len(resp.Items[0].Results) != 3 || len(resp.Items[1].Results) != 2 {
+		t.Fatalf("unexpected result counts: %d, %d", len(resp.Items[0].Results), len(resp.Items[1].Results))
+	}
+	if resp.Items[2].Error == "" {
+		t.Fatal("bad item returned no error over HTTP")
+	}
+
+	// Batch-level errors surface as HTTP 400.
+	call(t, ts, "POST", "/v1/rank/batch", `{"user":"","items":[{"target":"TvProgram"}]}`, http.StatusBadRequest, nil)
+	call(t, ts, "POST", "/v1/rank/batch", fmt.Sprintf(`{"user":%q,"items":[]}`, user), http.StatusBadRequest, nil)
+}
+
+// TestServeRankBatchChurnSoak compiles and uses plans concurrently with
+// session applies and drops: the plan cache must never serve a plan whose
+// context events were retired (visible as "not declared" rank errors), and
+// batches must agree with single ranks throughout. Run with -race in CI.
+func TestServeRankBatchChurnSoak(t *testing.T) {
+	const k = 4
+	srv, _ := batchServer(t, k)
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+	users := make([]string, 4)
+	for i := range users {
+		users[i] = fmt.Sprintf("person%04d", i)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, len(users)*2)
+	for w, user := range users {
+		wg.Add(1)
+		go func(w int, user string) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch {
+				case w%2 == 0: // ranker: alternate batch and single
+					if i%2 == 0 {
+						items := []RankItem{
+							{Target: "TvProgram", Limit: 5},
+							{Candidates: []string{"tv000", "tv001", "tv002"}},
+						}
+						res, _, err := srv.RankBatch(user, "", items)
+						if err != nil {
+							errc <- fmt.Errorf("%s batch: %w", user, err)
+							return
+						}
+						for _, item := range res {
+							if item.Err != nil {
+								errc <- fmt.Errorf("%s batch item: %w", user, item.Err)
+								return
+							}
+						}
+					} else if _, _, err := srv.Rank(user, "TvProgram", contextrank.RankOptions{Limit: 5}); err != nil {
+						errc <- fmt.Errorf("%s rank: %w", user, err)
+						return
+					}
+				default: // churner: update and occasionally drop the session
+					ms := []Measurement{{Concept: workload.BenchContextConcept(i % k), Prob: 0.5 + float64(i%5)/10}}
+					if _, err := srv.Sessions().Set(user, ms); err != nil {
+						errc <- fmt.Errorf("%s set: %w", user, err)
+						return
+					}
+					if i%7 == 0 {
+						if err := srv.Sessions().Drop(user); err != nil {
+							errc <- fmt.Errorf("%s drop: %w", user, err)
+							return
+						}
+					}
+				}
+			}
+		}(w, user)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

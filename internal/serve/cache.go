@@ -113,6 +113,15 @@ func (c *rankCache) get(key string) ([]contextrank.Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
+// put inserts a computed result under key — the batch path's store, which
+// computes outside the cache (sharing one plan across items) instead of
+// through do's singleflight.
+func (c *rankCache) put(key string, res []contextrank.Result, epoch int64) {
+	c.mu.Lock()
+	c.addLocked(key, res, epoch)
+	c.mu.Unlock()
+}
+
 // addLocked inserts under c.mu.
 func (c *rankCache) addLocked(key string, res []contextrank.Result, epoch int64) {
 	if el, ok := c.items[key]; ok {

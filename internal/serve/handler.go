@@ -32,6 +32,7 @@ const maxBodyBytes = 1 << 20
 //	DELETE /v1/sessions/{user}          end the session
 //	POST   /v1/rank                     {"user","target","algorithm","threshold","limit","explain"}
 //	GET    /v1/rank?user=&target=&...   same via query parameters
+//	POST   /v1/rank/batch               {"user","algorithm","items":[{"target"|"candidates",...}]} (one plan compile)
 //	POST   /v1/query                    {"sql":"SELECT ..."} (read-only)
 //	POST   /v1/exec                     {"sql":"INSERT ..."} (write; bumps the epoch)
 //	GET    /v1/stats                    server statistics
@@ -57,6 +58,7 @@ func NewHandlerFor(srv Backend) *Handler {
 	h.mux.HandleFunc("DELETE /v1/sessions/{user}", h.dropSession)
 	h.mux.HandleFunc("POST /v1/rank", h.rankPost)
 	h.mux.HandleFunc("GET /v1/rank", h.rankGet)
+	h.mux.HandleFunc("POST /v1/rank/batch", h.rankBatch)
 	h.mux.HandleFunc("POST /v1/query", h.query)
 	h.mux.HandleFunc("POST /v1/exec", h.exec)
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
@@ -144,6 +146,33 @@ type resultJSON struct {
 	ID          string   `json:"id"`
 	Score       float64  `json:"score"`
 	Explanation []string `json:"explanation,omitempty"`
+}
+
+type rankBatchRequest struct {
+	User      string         `json:"user"`
+	Algorithm string         `json:"algorithm,omitempty"`
+	Items     []rankItemJSON `json:"items"`
+}
+
+type rankItemJSON struct {
+	Target     string   `json:"target,omitempty"`
+	Candidates []string `json:"candidates,omitempty"`
+	Threshold  float64  `json:"threshold,omitempty"`
+	Limit      int      `json:"limit,omitempty"`
+	Explain    bool     `json:"explain,omitempty"`
+}
+
+type rankBatchResponse struct {
+	Items  []rankBatchItemJSON `json:"items"`
+	Epoch  int64               `json:"epoch"`
+	Shard  int                 `json:"shard"`
+	Micros int64               `json:"micros"`
+}
+
+type rankBatchItemJSON struct {
+	Results []resultJSON `json:"results,omitempty"`
+	Cached  bool         `json:"cached"`
+	Error   string       `json:"error,omitempty"`
 }
 
 type sqlRequest struct {
@@ -342,12 +371,19 @@ func (h *Handler) rank(w http.ResponseWriter, req rankRequest) {
 		return
 	}
 	out := rankResponse{
-		Results: make([]resultJSON, len(results)),
+		Results: resultsJSON(results),
 		Cached:  meta.Cached,
 		Epoch:   meta.Epoch,
 		Shard:   meta.Shard,
 		Micros:  meta.Elapsed.Microseconds(),
 	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// resultsJSON renders ranked results for transport; /v1/rank and
+// /v1/rank/batch share it so the two endpoints cannot drift.
+func resultsJSON(results []contextrank.Result) []resultJSON {
+	out := make([]resultJSON, len(results))
 	for i, res := range results {
 		rj := resultJSON{ID: res.ID, Score: res.Score}
 		if res.Explanation != nil {
@@ -355,7 +391,49 @@ func (h *Handler) rank(w http.ResponseWriter, req rankRequest) {
 				rj.Explanation = append(rj.Explanation, rc.String())
 			}
 		}
-		out.Results[i] = rj
+		out[i] = rj
+	}
+	return out
+}
+
+func (h *Handler) rankBatch(w http.ResponseWriter, r *http.Request) {
+	var req rankBatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.User == "" || len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: batch rank needs a user and at least one item"))
+		return
+	}
+	items := make([]RankItem, len(req.Items))
+	for i, it := range req.Items {
+		items[i] = RankItem{
+			Target:     it.Target,
+			Candidates: it.Candidates,
+			Threshold:  it.Threshold,
+			Limit:      it.Limit,
+			Explain:    it.Explain,
+		}
+	}
+	results, meta, err := h.srv.RankBatch(req.User, contextrank.Algorithm(req.Algorithm), items)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := rankBatchResponse{
+		Items:  make([]rankBatchItemJSON, len(results)),
+		Epoch:  meta.Epoch,
+		Shard:  meta.Shard,
+		Micros: meta.Elapsed.Microseconds(),
+	}
+	for i, item := range results {
+		ij := rankBatchItemJSON{Cached: item.Cached}
+		if item.Err != nil {
+			ij.Error = item.Err.Error()
+		} else {
+			ij.Results = resultsJSON(item.Results)
+		}
+		out.Items[i] = ij
 	}
 	writeJSON(w, http.StatusOK, out)
 }

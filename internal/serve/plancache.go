@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	contextrank "repro"
+)
+
+// DefaultPlanCacheSize is the compiled-plan LRU capacity when Options
+// leaves it zero. Plans are per-user (not per-target), so a modest
+// capacity covers many more distinct rank requests than the same number of
+// rank-result entries.
+const DefaultPlanCacheSize = 256
+
+// planKey keys one compiled rank plan. The facade epoch invalidates plans
+// on every data/rule/external-context mutation, the context epoch on every
+// merged session apply (which retires and re-declares context events for
+// *all* users, so the updated user's fingerprint alone would not be enough
+// — see Sessions.ctxEpoch), and the rules fingerprint pins the exact rule
+// set the plan compiled. Fields are length-prefixed like rankKey's.
+func planKey(user, rulesFP string, epoch, ctxEpoch int64) string {
+	var b strings.Builder
+	b.Grow(len(user) + len(rulesFP) + 48)
+	field := func(s string) {
+		b.WriteString(strconv.Itoa(len(s)))
+		b.WriteByte(':')
+		b.WriteString(s)
+	}
+	field(user)
+	field(rulesFP)
+	b.WriteString(strconv.FormatInt(epoch, 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(ctxEpoch, 10))
+	return b.String()
+}
+
+// planEntry is one cached compiled plan. A nil plan is a negative entry:
+// the rule set is known not to compile at this key's state (cluster bound),
+// so callers fail fast into the per-candidate fallback.
+type planEntry struct {
+	key  string
+	plan *contextrank.RankPlan
+}
+
+// planCache is an LRU of compiled rank plans. Invalidation is purely
+// key-based (epochs and fingerprints make stale keys unreachable, exactly
+// like the rank-result cache) plus LRU aging; compiled plans are immutable
+// and safe to share between concurrent rankers. Counters are atomics for
+// the same reason as rankCache's: a stats scrape must never queue behind
+// rank traffic holding the mutex.
+//
+// The LRU machinery is deliberately not shared with rankCache: rankCache's
+// eviction list must be mutated atomically with its singleflight map under
+// one mutex ("cached? else in flight? else lead" is a single critical
+// section), so extracting a self-locking LRU would either split that
+// invariant across two locks or force the flight map into this cache,
+// which has no flights.
+type planCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // key -> *planEntry element
+
+	size    atomic.Int64
+	hits    atomic.Int64
+	misses  atomic.Int64
+	evicted atomic.Int64
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheSize
+	}
+	return &planCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached plan for key, marking it most recently used.
+func (c *planCache) get(key string) (*contextrank.RankPlan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*planEntry).plan, true
+}
+
+// add inserts the plan under key, evicting from the LRU tail past
+// capacity. Concurrent compiles of the same key are not coalesced (the
+// compile runs under the facade read lock, where blocking peers on a
+// cache-level flight would serialize the read path); the last writer wins
+// and the duplicates are identical.
+func (c *planCache) add(key string, plan *contextrank.RankPlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*planEntry).plan = plan
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&planEntry{key: key, plan: plan})
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*planEntry).key)
+		c.evicted.Add(1)
+	}
+	c.size.Store(int64(c.ll.Len()))
+}
+
+// stats snapshots the counters without taking c.mu (reads are atomics and
+// may be mutually inconsistent by a request; ratios do not care).
+func (c *planCache) stats() CacheStats {
+	s := CacheStats{
+		Size:     int(c.size.Load()),
+		Capacity: c.capacity,
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Evicted:  c.evicted.Load(),
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -14,6 +15,10 @@ type Options struct {
 	// CacheSize is the rank-result LRU capacity (entries). 0 means
 	// DefaultCacheSize; negative disables caching entirely.
 	CacheSize int
+	// PlanCacheSize is the compiled-rank-plan LRU capacity (entries). 0
+	// means DefaultPlanCacheSize; negative disables plan caching (every
+	// uncached rank then recompiles its plan).
+	PlanCacheSize int
 }
 
 // Backend is the serving surface the HTTP handler (and the load
@@ -38,6 +43,11 @@ type Backend interface {
 	AddRules(texts []string) ([]string, int64, error)
 	// RemoveRule deletes a rule by name.
 	RemoveRule(name string) (int64, error)
+	// RankBatch ranks several targets/candidate lists for one user in a
+	// single call: one consistent snapshot, one compiled rank plan (for
+	// the factorized algorithm) shared by every item, and — under
+	// sharding — one hop to the user's owning shard.
+	RankBatch(user string, algorithm contextrank.Algorithm, items []RankItem) ([]RankItemResult, RankMeta, error)
 	// SetSession replaces the user's session context.
 	SetSession(user string, ms []Measurement) (string, error)
 	// SessionInfo returns the user's measurements and fingerprint.
@@ -79,6 +89,7 @@ type Server struct {
 	facade   *Facade
 	sessions *Sessions
 	cache    *rankCache // nil when caching is disabled
+	plans    *planCache // nil when plan caching is disabled
 	latency  *latencyRecorder
 	start    time.Time
 	requests atomic.Int64
@@ -97,6 +108,9 @@ func NewServer(sys *contextrank.System, opts Options) *Server {
 	srv.sessions = newSessions(srv.facade)
 	if opts.CacheSize >= 0 {
 		srv.cache = newRankCache(opts.CacheSize)
+	}
+	if opts.PlanCacheSize >= 0 {
+		srv.plans = newPlanCache(opts.PlanCacheSize)
 	}
 	return srv
 }
@@ -140,7 +154,7 @@ func (s *Server) Rank(user, target string, opts contextrank.RankOptions) ([]cont
 	if s.cache == nil {
 		err = s.facade.withReadEpoch(func(sys *contextrank.System, e int64) error {
 			epoch = e
-			r, rerr := sys.RankWith(user, target, opts)
+			r, rerr := s.rankTarget(sys, user, target, opts, e)
 			res = r
 			return rerr
 		})
@@ -152,7 +166,7 @@ func (s *Server) Rank(user, target string, opts contextrank.RankOptions) ([]cont
 			cerr := s.facade.withReadEpoch(func(sys *contextrank.System, e int64) error {
 				observed = e
 				storeKey = rankKey(user, target, s.sessions.AppliedFingerprint(user), e, opts)
-				r, rerr := sys.RankWith(user, target, opts)
+				r, rerr := s.rankTarget(sys, user, target, opts, e)
 				out = r
 				return rerr
 			})
@@ -165,6 +179,203 @@ func (s *Server) Rank(user, target string, opts contextrank.RankOptions) ([]cont
 		s.latency.observe(elapsed)
 	}
 	return res, RankMeta{Cached: cached, Epoch: epoch, Elapsed: elapsed}, err
+}
+
+// planAlgorithm reports whether the algorithm is served by compiled rank
+// plans (the factorized default); the others rank through the generic path.
+func planAlgorithm(alg contextrank.Algorithm) bool {
+	return alg == "" || alg == contextrank.AlgorithmFactorized
+}
+
+// rankTarget computes one uncached target ranking. Must run under the
+// facade read lock with e the epoch observed under that lock: the plan
+// fetched (or compiled) here is keyed by (user, rules fingerprint, e,
+// context epoch), all of which are stable while the lock is held, so a
+// cached plan can never be stale for the snapshot being read.
+func (s *Server) rankTarget(sys *contextrank.System, user, target string, opts contextrank.RankOptions, e int64) ([]contextrank.Result, error) {
+	if !planAlgorithm(opts.Algorithm) {
+		return sys.RankWith(user, target, opts)
+	}
+	plan, err := s.planFor(sys, user, e)
+	if err != nil {
+		if errors.Is(err, contextrank.ErrPlanClusterBound) {
+			// The footprint partition is too coarse for this rule set; go
+			// straight to the per-candidate path (a cached negative verdict
+			// means recompiling would just rediscover the bound).
+			return sys.RankNoPlan(user, target, opts)
+		}
+		return nil, err
+	}
+	return sys.RankWithPlan(plan, target, opts)
+}
+
+// planFor returns the user's compiled rank plan for the current (epoch,
+// context epoch, rule set), compiling and caching it on a miss. Must run
+// under the facade read lock (see rankTarget). A rule set whose footprint
+// partition exceeds the cluster bound is cached as a nil entry — a
+// negative verdict — so repeated requests at the same state fail fast into
+// the per-candidate fallback instead of recompiling.
+func (s *Server) planFor(sys *contextrank.System, user string, e int64) (*contextrank.RankPlan, error) {
+	if s.plans == nil {
+		return sys.CompileRankPlan(user)
+	}
+	key := planKey(user, sys.RulesFingerprint(), e, s.sessions.ContextEpoch())
+	if plan, ok := s.plans.get(key); ok {
+		if plan == nil {
+			return nil, contextrank.ErrPlanClusterBound
+		}
+		return plan, nil
+	}
+	plan, err := sys.CompileRankPlan(user)
+	if err != nil {
+		if errors.Is(err, contextrank.ErrPlanClusterBound) {
+			s.plans.add(key, nil)
+		}
+		return nil, err
+	}
+	s.plans.add(key, plan)
+	return plan, nil
+}
+
+// RankItem is one ranking task inside a RankBatch call: either a target
+// concept expression or an explicit candidate list, plus the per-item
+// result shaping.
+type RankItem struct {
+	Target     string   // DL concept expression; empty when Candidates is set
+	Candidates []string // explicit candidate ids (the §5 query-integration shape)
+	Threshold  float64
+	Limit      int
+	Explain    bool
+}
+
+// options shapes the item as RankOptions under the batch's algorithm.
+func (it RankItem) options(alg contextrank.Algorithm) contextrank.RankOptions {
+	return contextrank.RankOptions{
+		Algorithm: alg,
+		Threshold: it.Threshold,
+		Limit:     it.Limit,
+		Explain:   it.Explain,
+	}
+}
+
+// RankItemResult is one batch item's outcome. Err is per-item: a bad
+// target expression fails that item, not the batch.
+type RankItemResult struct {
+	Results []contextrank.Result
+	Cached  bool
+	Err     error
+}
+
+// RankBatch ranks every item for one user in a single call. Target items
+// are served from the rank-result cache when possible; all misses share
+// one facade read-lock hold (one consistent snapshot) and — for the
+// factorized algorithm — one compiled rank plan, so a batch of B targets
+// or candidate lists pays the per-(user, rules, context) compilation once
+// instead of B times. Candidate-list items bypass the result cache (their
+// keys would have unbounded cardinality) and always rank through the
+// plan. Identical concurrent batch misses are not singleflight-coalesced;
+// the shared plan already removes the expensive duplicated work.
+func (s *Server) RankBatch(user string, alg contextrank.Algorithm, items []RankItem) ([]RankItemResult, RankMeta, error) {
+	started := time.Now()
+	s.requests.Add(int64(len(items)))
+	if user == "" {
+		return nil, RankMeta{}, fmt.Errorf("serve: batch rank needs a user")
+	}
+	if len(items) == 0 {
+		return nil, RankMeta{}, fmt.Errorf("serve: batch rank needs at least one item")
+	}
+	if !contextrank.KnownAlgorithm(alg) {
+		return nil, RankMeta{}, fmt.Errorf("serve: unknown algorithm %q", alg)
+	}
+
+	fp := s.sessions.AppliedFingerprint(user)
+	epoch := s.facade.Epoch()
+	out := make([]RankItemResult, len(items))
+
+	// Pass 1: serve target items straight from the rank-result cache.
+	pending := make([]int, 0, len(items))
+	for i, it := range items {
+		if it.Candidates == nil && it.Target != "" && s.cache != nil {
+			key := rankKey(user, it.Target, fp, epoch, it.options(alg))
+			if res, ok := s.cache.get(key); ok {
+				s.cache.hits.Add(1)
+				out[i] = RankItemResult{Results: res, Cached: true}
+				continue
+			}
+			s.cache.misses.Add(1)
+		}
+		pending = append(pending, i)
+	}
+
+	meta := RankMeta{Cached: len(pending) == 0, Epoch: epoch}
+	if len(pending) > 0 {
+		err := s.facade.withReadEpoch(func(sys *contextrank.System, e int64) error {
+			meta.Epoch = e
+			afp := s.sessions.AppliedFingerprint(user)
+			var plan *contextrank.RankPlan
+			boundExceeded := false
+			if planAlgorithm(alg) {
+				p, perr := s.planFor(sys, user, e)
+				switch {
+				case perr == nil:
+					plan = p
+				case errors.Is(perr, contextrank.ErrPlanClusterBound):
+					// Rule set too coarse for a compiled plan; every item
+					// below ranks through the per-candidate path directly
+					// (recompiling per item would rediscover the bound).
+					boundExceeded = true
+				default:
+					return perr
+				}
+			}
+			for _, i := range pending {
+				it := items[i]
+				opts := it.options(alg)
+				var res []contextrank.Result
+				var rerr error
+				switch {
+				case it.Candidates != nil:
+					switch {
+					case plan != nil:
+						res, rerr = sys.RankCandidatesWithPlan(plan, it.Candidates, opts)
+					case boundExceeded:
+						res, rerr = sys.RankCandidatesNoPlan(user, it.Candidates, opts)
+					default:
+						res, rerr = sys.RankCandidates(user, it.Candidates, opts)
+					}
+				case it.Target != "":
+					switch {
+					case plan != nil:
+						res, rerr = sys.RankWithPlan(plan, it.Target, opts)
+					case boundExceeded:
+						res, rerr = sys.RankNoPlan(user, it.Target, opts)
+					default:
+						res, rerr = sys.RankWith(user, it.Target, opts)
+					}
+					if rerr == nil && s.cache != nil {
+						// File under what was actually observed under the
+						// lock, mirroring the single-rank compute path.
+						s.cache.put(rankKey(user, it.Target, afp, e, opts), res, e)
+					}
+				default:
+					rerr = fmt.Errorf("serve: batch item needs a target or a candidate list")
+				}
+				out[i] = RankItemResult{Results: res, Err: rerr}
+			}
+			return nil
+		})
+		if err != nil {
+			// Batch-level failure: the shared plan could not be compiled
+			// (e.g. a rule references vocabulary mid-migration) — no item
+			// could have ranked.
+			return nil, meta, err
+		}
+	}
+
+	elapsed := time.Since(started)
+	s.latency.observe(elapsed)
+	meta.Elapsed = elapsed
+	return out, meta, nil
 }
 
 // --- Backend write/read operations -----------------------------------------
@@ -298,8 +509,12 @@ type Stats struct {
 	// system's event space. Under session churn it stays bounded by the
 	// live context vocabulary (each context apply retires the previous
 	// snapshot's events) — a growing value here means an event leak.
-	Events  int          `json:"events"`
-	Cache   CacheStats   `json:"cache"`
+	Events int        `json:"events"`
+	Cache  CacheStats `json:"cache"`
+	// Plans is the compiled-rank-plan cache: one entry per (user, rule
+	// set, epoch, context epoch), shared by every target and batch item
+	// that user ranks at that state.
+	Plans   CacheStats   `json:"plan_cache"`
 	Latency LatencyStats `json:"latency"`
 	// Broadcast describes cross-shard vocabulary writes; only a sharded
 	// backend fills it.
@@ -345,6 +560,9 @@ func (s *Server) Stats() Stats {
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.stats()
+	}
+	if s.plans != nil {
+		st.Plans = s.plans.stats()
 	}
 	return st
 }

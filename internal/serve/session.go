@@ -73,6 +73,17 @@ type Sessions struct {
 	// the concept — would destroy it.
 	appliedRows map[string]int
 
+	// ctxEpoch counts merged context applies (attempted, not just
+	// successful: a failed apply may already have retired the previous
+	// snapshot's basic events). Every apply invalidates all compiled rank
+	// plans — their context events are retired and re-declared under fresh
+	// names even for users whose own session did not change — without
+	// bumping the facade epoch, so the serve plan cache keys plans by this
+	// counter alongside the epoch. Bumped only while holding the facade
+	// write lock; reading it under the facade read lock is therefore
+	// stable for the duration of the lock hold.
+	ctxEpoch atomic.Int64
+
 	// applied maps user -> fingerprint of the last successfully applied
 	// snapshot. It is written only while holding the facade write lock
 	// and read lock-free (notably under the facade read lock inside
@@ -295,10 +306,20 @@ func (s *Sessions) applyMergedLocked(changed map[string]bool) error {
 	return s.applyMergedFacadeLocked(changed)
 }
 
+// ContextEpoch returns the merged-apply counter. Two reads under the same
+// facade read lock return the same value; a compiled rank plan is valid
+// exactly while (facade epoch, context epoch) both match its compile-time
+// values.
+func (s *Sessions) ContextEpoch() int64 { return s.ctxEpoch.Load() }
+
 // applyMergedFacadeLocked is applyMergedLocked's body for callers that
 // already hold the facade write lock (SuspendAndDump runs it inside the
 // same critical section as the retraction and the dump).
 func (s *Sessions) applyMergedFacadeLocked(changed map[string]bool) error {
+	// The apply below retires the previous snapshot's basic events, so any
+	// plan compiled before this point is dead even if the apply fails
+	// half-way — count the attempt, not the success.
+	s.ctxEpoch.Add(1)
 	merged := situation.New("_sessions")
 	users := make([]string, 0, len(s.users))
 	for u := range s.users {

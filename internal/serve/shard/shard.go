@@ -122,6 +122,15 @@ func (c *Coordinator) Rank(user, target string, opts contextrank.RankOptions) ([
 	return res, meta, err
 }
 
+// RankBatch routes the whole batch to the user's shard — one hop, one
+// consistent snapshot and one compiled rank plan for every item.
+func (c *Coordinator) RankBatch(user string, alg contextrank.Algorithm, items []serve.RankItem) ([]serve.RankItemResult, serve.RankMeta, error) {
+	i := c.ShardFor(user)
+	res, meta, err := c.shards[i].RankBatch(user, alg, items)
+	meta.Shard = i
+	return res, meta, err
+}
+
 // SetSession applies the user's session context on the user's shard only:
 // the merged apply and its write lock are shard-local.
 func (c *Coordinator) SetSession(user string, ms []serve.Measurement) (string, error) {
@@ -272,6 +281,7 @@ func (c *Coordinator) Stats() serve.Stats {
 			agg.Rules = st.Rules
 		}
 		agg.Cache = agg.Cache.Merge(st.Cache)
+		agg.Plans = agg.Plans.Merge(st.Plans)
 		agg.Latency = agg.Latency.Merge(st.Latency)
 	}
 	b := &serve.BroadcastStats{Writes: c.bcastWrites.Load()}

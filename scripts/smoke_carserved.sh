@@ -73,6 +73,15 @@ done
 CACHED=$(jget "$BASE/v1/rank?user=person0000&target=TvProgram&limit=3" '.cached')
 CACHED=$(jget "$BASE/v1/rank?user=person0000&target=TvProgram&limit=3" '.cached')
 [ "$CACHED" = "true" ] || fail "repeated rank not cached"
+# Batched rank: one request, several targets/candidate lists, per-item results.
+NBATCH=$(jsend POST "$BASE/v1/rank/batch" \
+  '{"user":"person0000","items":[{"target":"TvProgram","limit":3},{"candidates":["tv000","tv001"]}]}' \
+  '.items | length')
+[ "$NBATCH" -eq 2 ] || fail "batch rank returned $NBATCH items, want 2"
+NCAND=$(jsend POST "$BASE/v1/rank/batch" \
+  '{"user":"person0000","items":[{"target":"TvProgram","limit":3},{"candidates":["tv000","tv001"]}]}' \
+  '.items[1].results | length')
+[ "$NCAND" -eq 2 ] || fail "batch candidate item returned $NCAND results, want 2"
 # Session round-trips through its shard.
 jget "$BASE/v1/sessions/person0003" '.measurements | length' >/dev/null || fail "session get"
 

@@ -109,6 +109,53 @@ func BenchmarkServeRankConcurrent(b *testing.B) {
 	}
 }
 
+// BenchmarkServeRankBatch measures the batched rank endpoint under
+// per-iteration session churn — the workload batching exists for: every
+// iteration invalidates the user's compiled plan (context epoch bump), so
+// a batch of B candidate-list items pays one plan compile where B single
+// ranks would pay B. ns/op is one churn + one batch; compare batch=1
+// against batch=8 divided by item count for the per-item amortization.
+func BenchmarkServeRankBatch(b *testing.B) {
+	const k = 8
+	candidates := [][]string{
+		{"tv000", "tv001", "tv002", "tv003", "tv004"},
+		{"tv005", "tv006", "tv007", "tv008", "tv009"},
+		{"tv010", "tv011", "tv012", "tv013", "tv014"},
+		{"tv001", "tv003", "tv005", "tv007", "tv009"},
+		{"tv000", "tv002", "tv004", "tv006", "tv008"},
+		{"tv002", "tv005", "tv008", "tv011", "tv014"},
+		{"tv000", "tv004", "tv008", "tv012", "tv001"},
+		{"tv003", "tv006", "tv009", "tv012", "tv000"},
+	}
+	for _, batch := range []int{1, 8} {
+		b.Run(fmt.Sprintf("churn/batch=%d", batch), func(b *testing.B) {
+			srv, users := benchServer(b, k, 1)
+			user := users[0]
+			items := make([]serve.RankItem, batch)
+			for i := range items {
+				items[i] = serve.RankItem{Candidates: candidates[i%len(candidates)]}
+			}
+			ms := []serve.Measurement{{Concept: workload.BenchContextConcept(0), Prob: 0.9}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ms[0].Prob = 0.5 + float64(i%50)/100
+				if _, err := srv.Sessions().Set(user, ms); err != nil {
+					b.Fatal(err)
+				}
+				res, _, err := srv.RankBatch(user, "", items)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, item := range res {
+					if item.Err != nil {
+						b.Fatal(item.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkServeMutationInvalidation measures the worst case for the
 // cache: every rank preceded by an epoch-bumping mutation, so nothing is
 // ever served from cache and each request pays recompute + invalidation.
