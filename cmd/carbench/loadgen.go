@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -15,6 +16,7 @@ import (
 
 	contextrank "repro"
 	"repro/internal/serve"
+	"repro/internal/serve/journal"
 	"repro/internal/serve/shard"
 	"repro/internal/workload"
 )
@@ -30,7 +32,12 @@ type loadgenConfig struct {
 	AssertEvery time.Duration // background fact-assertion interval, a broadcast write under sharding (0 = off)
 	CacheSize   int
 	CtxProb     float64 // membership probability of session measurements; < 1 declares (and retires) basic events per apply
-	Quiet       bool    // suppress the per-run detail lines (the shard curve prints its own table)
+	JournalDir  string  // when set, session updates ride the write-ahead journal in this directory (fsync per group commit)
+	// ForceCoordinator routes even a 1-shard run through shard.Coordinator.
+	// The journal A/B comparison sets it on BOTH arms so the measured
+	// delta is the WAL alone, not coordinator indirection.
+	ForceCoordinator bool
+	Quiet            bool // suppress the per-run detail lines (the shard curve prints its own table)
 }
 
 // loadgenResult is one load-generation run's outcome, consumed by the
@@ -65,10 +72,18 @@ func runServeLoadgen(cfg loadgenConfig) (loadgenResult, error) {
 		return sys, nil
 	}
 	var backend serve.Backend
-	if shards > 1 {
+	if shards > 1 || cfg.JournalDir != "" || cfg.ForceCoordinator {
+		// Journaled runs go through the coordinator even at one shard:
+		// RecoverSessions owns the journal generation lifecycle.
 		coord, err := shard.New(shards, build, serve.Options{CacheSize: cfg.CacheSize})
 		if err != nil {
 			return loadgenResult{}, err
+		}
+		if cfg.JournalDir != "" {
+			if _, err := coord.RecoverSessions(cfg.JournalDir, journal.Options{}); err != nil {
+				return loadgenResult{}, err
+			}
+			defer coord.CloseJournals() //nolint:errcheck // best-effort teardown after the measurement window
 		}
 		backend = coord
 	} else {
@@ -247,6 +262,11 @@ func runServeLoadgen(cfg loadgenConfig) (loadgenResult, error) {
 			fmt.Printf("broadcast: %d cross-shard writes, mean %.0fµs, max %.0fµs (slowest shard per write)\n",
 				st.Broadcast.Writes, st.Broadcast.MeanMicros, st.Broadcast.MaxMicros)
 		}
+		if j := st.Journal; j != nil && j.Appends > 0 {
+			fmt.Printf("journal: %d appends in %d group commits (%.1f records/fsync), %d compactions, %d live / %d total records, %.1f KB\n",
+				j.Appends, j.Batches, float64(j.Appends)/float64(j.Batches),
+				j.Compactions, j.LiveRecords, j.TotalRecords, float64(j.Bytes)/1024)
+		}
 		runtime.GC()
 		var memAfter runtime.MemStats
 		runtime.ReadMemStats(&memAfter)
@@ -314,6 +334,66 @@ func runServeShardCurve(cfg loadgenConfig, counts []int) error {
 		last := results[len(results)-1]
 		fmt.Printf("scaling: %d shards serve %.2fx the aggregate rank throughput of 1 shard\n",
 			last.Shards, last.ReqPerSec/base)
+	}
+	return nil
+}
+
+// runJournalLoadgen measures what session durability costs under the
+// mixed apply+rank HTTP workload: the same load generation twice — once
+// without a journal, once with the WAL fsyncing every session
+// acknowledgement — and prints the throughput delta plus the journal's
+// group-commit and compaction counters. Because the rank path never
+// touches the journal, the overhead should track the session-apply
+// fraction of the workload (cfg.Churn), not the rank volume.
+func runJournalLoadgen(cfg loadgenConfig) error {
+	if cfg.Churn <= 0 {
+		// Journaling costs nothing without session applies; default to a
+		// write-heavy mix so the fsync path is actually on the clock.
+		cfg.Churn = 4
+	}
+	cfg.Quiet = true
+	fmt.Printf("mixed workload: %d clients, session churn every %d ranks, %d shard(s), %s per run\n",
+		cfg.Clients, cfg.Churn, max(cfg.Shards, 1), cfg.Duration)
+
+	// Both arms run the identical stack — coordinator included — so the
+	// delta isolates the WAL.
+	cfg.ForceCoordinator = true
+	off := cfg
+	off.JournalDir = ""
+	baseRes, err := runServeLoadgen(off)
+	if err != nil {
+		return fmt.Errorf("journal off: %w", err)
+	}
+
+	on := cfg
+	dir, err := os.MkdirTemp("", "carbench-journal-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	on.JournalDir = dir
+	jRes, err := runServeLoadgen(on)
+	if err != nil {
+		return fmt.Errorf("journal on: %w", err)
+	}
+
+	fmt.Printf("%-12s %10s %12s %12s %12s\n", "journal", "ranks", "req/s", "p95(µs)", "sessions")
+	for _, row := range []struct {
+		name string
+		res  loadgenResult
+	}{{"off", baseRes}, {"on (fsync)", jRes}} {
+		fmt.Printf("%-12s %10d %12.0f %12.0f %12d\n", row.name, row.res.Ranks, row.res.ReqPerSec,
+			row.res.Stats.Latency.P95Micros, row.res.Stats.Sessions)
+	}
+	overhead := (baseRes.ReqPerSec - jRes.ReqPerSec) / baseRes.ReqPerSec * 100
+	fmt.Printf("mixed-workload throughput delta with durable sessions: %.1f%%\n", overhead)
+	fmt.Printf("(the delta is the session-apply fraction paying fsync — 1 in %d requests here; the rank\n", cfg.Churn+1)
+	fmt.Printf(" path never touches the journal, which CI proves separately: BenchmarkServeRankWithJournal\n")
+	fmt.Printf(" must stay within 5%% of BenchmarkServeRankCached)\n")
+	if j := jRes.Stats.Journal; j != nil && j.Batches > 0 {
+		fmt.Printf("journal: %d appends in %d group commits (%.1f records/fsync), %d compactions, %d live / %d total records\n",
+			j.Appends, j.Batches, float64(j.Appends)/float64(j.Batches),
+			j.Compactions, j.LiveRecords, j.TotalRecords)
 	}
 	return nil
 }

@@ -29,6 +29,13 @@
 // request invalidates the client's compiled rank plan, so a batch of B
 // items amortizes one plan compile where B single ranks would pay B.
 //
+// journal: the session-durability overhead experiment — the same mixed
+// apply+rank HTTP load twice, without and with the per-shard session WAL
+// (internal/serve/journal, fsync per group commit), printing the req/s
+// delta and the journal's group-commit/compaction counters. Durable
+// sessions should cost a few percent at most: the rank path never touches
+// the journal, and concurrent session applies share one fsync.
+//
 // -cpuprofile/-memprofile write pprof profiles for any run, e.g.
 // `carbench -exp rankbatch -cpuprofile cpu.out` then `go tool pprof`.
 package main
@@ -50,7 +57,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, e1, e2, e3, a1, a2, a3, a4, serve, rankbatch (load generators; not in 'all')")
+		exp      = flag.String("exp", "all", "experiment to run: all, e1, e2, e3, a1, a2, a3, a4, serve, rankbatch, journal (load generators; not in 'all')")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-point budget for sweeps (the paper aborted at 30min)")
 		maxRules = flag.Int("maxrules", 8, "largest rule count in the scalability sweeps")
 		small    = flag.Bool("small", false, "use the scaled-down dataset instead of the paper's ~11k tuples")
@@ -219,6 +226,23 @@ func main() {
 			_, err := runServeLoadgen(cfg)
 			exitOn(err)
 		}
+	}
+
+	if strings.EqualFold(*exp, "journal") {
+		ran = true
+		counts, err := parseShardList(*shardList)
+		exitOn(err)
+		section("JOURNAL — session WAL overhead: durable vs in-memory sessions under mixed apply+rank load")
+		exitOn(runJournalLoadgen(loadgenConfig{
+			Spec:      spec,
+			Rules:     *maxRules,
+			Shards:    counts[0],
+			Clients:   *clients,
+			Duration:  *benchdur,
+			Churn:     *churn,
+			CacheSize: *cachesize,
+			CtxProb:   *ctxprob,
+		}))
 	}
 
 	if strings.EqualFold(*exp, "rankbatch") {

@@ -14,12 +14,34 @@
 // blocks another user's rank on a different shard — while vocabulary
 // writes (declare/assert/rules/exec) are broadcast to all shards.
 //
-// With -snapdir the daemon saves one snapshot per shard (engine.Dump via
-// the serve layer, session context excluded) on SIGTERM/SIGINT, and
-// restores from that directory on the next boot instead of preloading.
+// With -snapdir the daemon is crash-safe, not merely restartable:
+//
+//   - Durable data (vocabulary, assertions, rules, views) is snapshotted
+//     per shard on SIGTERM/SIGINT — and, when the directory holds no
+//     snapshot yet, once at boot right after preloading, so the durable
+//     base never depends on a clean shutdown.
+//   - Live sessions ride a per-shard write-ahead journal
+//     (internal/serve/journal): every acknowledged session update/drop is
+//     fsynced (group commit) before the HTTP response, and boot replays
+//     the journal after the snapshot restore, re-applying each user's
+//     measurements through the ordinary merged-apply path so context
+//     fingerprints, ctx_* events and rank scores come back bit-identical.
+//     The boot log reports how many records and users were recovered.
+//
+// On kill -9, OOM or node loss the next boot therefore restores the last
+// snapshot and replays the journal on top: every acknowledged *session*
+// update survives any crash, while durable data (vocabulary, assertions,
+// rules, DML) recovers to its most recent snapshot — the boot snapshot
+// at minimum; durable writes made *between* snapshots are not yet
+// journaled and are lost by a crash (journaled session records that
+// reference such lost vocabulary are preserved across the reboot and
+// retried on later boots). Before the journal existed, a crash lost
+// *all* state even with -snapdir, because snapshots were written only
+// on SIGTERM.
 // The shard count may change between runs: broadcast replication makes
 // any shard's snapshot a full copy of the durable state, so a reboot with
-// a different -shards value is an online reshard.
+// a different -shards value is an online reshard — journal replay routes
+// every session to its new owning shard.
 //
 // With -preload the daemon starts already loaded with the paper's §5
 // TV-watcher database (small = scaled-down test sizes, paper = ~11k
@@ -52,6 +74,7 @@ import (
 
 	contextrank "repro"
 	"repro/internal/serve"
+	"repro/internal/serve/journal"
 	"repro/internal/serve/shard"
 	"repro/internal/workload"
 )
@@ -61,19 +84,49 @@ func main() {
 		addr    = flag.String("addr", ":8372", "listen address")
 		shards  = flag.Int("shards", 1, "shard replicas; per-user traffic is routed by consistent hash of the user ID")
 		cache   = flag.Int("cache", serve.DefaultCacheSize, "per-shard rank cache capacity in entries (-1 disables caching)")
-		snapdir = flag.String("snapdir", "", "snapshot directory: restore from it on boot (if present), save per-shard snapshots into it on shutdown")
+		snapdir = flag.String("snapdir", "", "durability directory: per-shard snapshots (restored on boot, saved at first boot and on shutdown) plus the session write-ahead journal (replayed on boot) — makes the daemon crash-safe")
 		preload = flag.String("preload", "none", "preload dataset: none, small or paper (ignored when restoring from -snapdir)")
 		rules   = flag.Int("rules", 4, "preference rules to register with -preload")
 	)
 	flag.Parse()
 
-	build, source, err := buildFunc(*snapdir, *preload, *rules)
+	build, source, restored, err := buildFunc(*snapdir, *preload, *rules)
 	if err != nil {
 		log.Fatalf("carserved: %v", err)
 	}
 	coord, err := shard.New(*shards, build, serve.Options{CacheSize: *cache})
 	if err != nil {
 		log.Fatalf("carserved: %v", err)
+	}
+
+	if *snapdir != "" {
+		// Session durability: journal from here on, replaying whatever a
+		// previous incarnation journaled (routed, so a changed -shards
+		// value reassigns users correctly).
+		rs, err := coord.RecoverSessions(*snapdir, journal.Options{})
+		if err != nil {
+			log.Fatalf("carserved: recovering sessions: %v", err)
+		}
+		if rs.Records > 0 || rs.TornFiles > 0 || rs.BadFiles > 0 {
+			log.Printf("carserved: session journal: replayed %d records from %d file(s) -> %d live users (%d drops, %d failed-and-preserved, %d torn tails, %d unreadable files)",
+				rs.Records, rs.Files, rs.Users, rs.Drops, rs.Failed, rs.TornFiles, rs.BadFiles)
+			if rs.FingerprintMismatches > 0 {
+				log.Printf("carserved: session journal: %d fingerprint mismatches (fingerprint function changed between versions?)", rs.FingerprintMismatches)
+			}
+		} else {
+			log.Printf("carserved: session journal armed in %s (nothing to replay)", *snapdir)
+		}
+		if !restored {
+			// No snapshot existed, so the durable base so far lives only
+			// in memory (preload). Persist it now: a crash at any later
+			// instant then recovers to this base plus the journaled
+			// sessions, instead of losing everything because no SIGTERM
+			// ever ran.
+			if err := coord.SaveSnapshots(*snapdir); err != nil {
+				log.Fatalf("carserved: saving boot snapshot: %v", err)
+			}
+			log.Printf("carserved: saved boot snapshot (%d shard(s)) to %s", coord.N(), *snapdir)
+		}
 	}
 
 	httpSrv := &http.Server{
@@ -102,6 +155,11 @@ func main() {
 		if err := coord.SaveSnapshots(*snapdir); err != nil {
 			log.Fatalf("carserved: saving snapshots: %v", err)
 		}
+		// Closed after the snapshot: the journal outlives the dump, so a
+		// crash during SaveSnapshots still recovers sessions on reboot.
+		if err := coord.CloseJournals(); err != nil {
+			log.Printf("carserved: closing session journals: %v", err)
+		}
 		log.Printf("carserved: saved %d shard snapshot(s) to %s", coord.N(), *snapdir)
 	}
 	st := coord.Stats()
@@ -115,25 +173,27 @@ func main() {
 
 // buildFunc picks the per-shard System source: a snapshot restore when
 // snapdir holds one, the preloaded dataset otherwise. source describes the
-// choice for the startup log line.
-func buildFunc(snapdir, preload string, rules int) (build func(int) (*contextrank.System, error), source string, err error) {
+// choice for the startup log line; restored reports whether a snapshot
+// was found (when false and snapdir is set, main persists a boot
+// snapshot so crashes do not depend on a clean shutdown ever happening).
+func buildFunc(snapdir, preload string, rules int) (build func(int) (*contextrank.System, error), source string, restored bool, err error) {
 	if snapdir != "" && shard.HasSnapshots(snapdir) {
 		build, saved, err := shard.RestoreBuilder(snapdir)
 		if err != nil {
-			return nil, "", err
+			return nil, "", false, err
 		}
-		return build, fmt.Sprintf("restore=%s(saved-shards=%d)", snapdir, saved), nil
+		return build, fmt.Sprintf("restore=%s(saved-shards=%d)", snapdir, saved), true, nil
 	}
 	var spec workload.Spec
 	switch preload {
 	case "none":
-		return func(int) (*contextrank.System, error) { return contextrank.NewSystem(), nil }, "preload=none", nil
+		return func(int) (*contextrank.System, error) { return contextrank.NewSystem(), nil }, "preload=none", false, nil
 	case "small":
 		spec = workload.SmallSpec()
 	case "paper":
 		spec = workload.DefaultSpec()
 	default:
-		return nil, "", fmt.Errorf("unknown -preload %q (want none, small or paper)", preload)
+		return nil, "", false, fmt.Errorf("unknown -preload %q (want none, small or paper)", preload)
 	}
 	build = func(i int) (*contextrank.System, error) {
 		sys := contextrank.NewSystem()
@@ -147,5 +207,5 @@ func buildFunc(snapdir, preload string, rules int) (build func(int) (*contextran
 		}
 		return sys, nil
 	}
-	return build, "preload=" + preload, nil
+	return build, "preload=" + preload, false, nil
 }

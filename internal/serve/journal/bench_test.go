@@ -1,0 +1,114 @@
+package journal
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// benchRecord is a representative session Set: two measurements, one in
+// an exclusive group — the shape the serving layer journals under churn.
+func benchRecord(i int) Record {
+	return Record{
+		Op:   OpSet,
+		User: fmt.Sprintf("person%04d", i%512),
+		Measurements: []Measurement{
+			{Concept: "BenchCtx0", Prob: 0.5 + float64(i%50)/100},
+			{Concept: "BenchCtx1", Prob: 0.3, Exclusive: "loc"},
+		},
+		Fingerprint: "a1b2c3d4e5f60718",
+		Epoch:       int64(i),
+	}
+}
+
+// BenchmarkJournalAppend measures the framing + group-commit machinery
+// without the fsync (NoSync), so the number is stable across CI disks and
+// the regression gate tracks the code, not the hardware. RunParallel
+// exercises the queue handoff the way concurrent session applies do.
+func BenchmarkJournalAppend(b *testing.B) {
+	j, _, err := Open(filepath.Join(b.TempDir(), "bench.wal"), Options{
+		NoSync: true,
+		// The default trigger would compact mid-run and mix rewrite cost
+		// into append timings; push it out of reach.
+		CompactMinRecords: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if err := j.Append(benchRecord(i)); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkJournalAppendFsync is the durable configuration: every batch
+// fsyncs. ns/op here is dominated by the disk, so it is informational
+// (not part of the regression gate) — divide by the achieved batch size
+// (Appends/Batches in Stats) for the per-record fsync amortization.
+func BenchmarkJournalAppendFsync(b *testing.B) {
+	j, _, err := Open(filepath.Join(b.TempDir(), "bench.wal"), Options{
+		CompactMinRecords: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if err := j.Append(benchRecord(i)); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	st := j.Stats()
+	if st.Batches > 0 {
+		b.ReportMetric(float64(st.Appends)/float64(st.Batches), "records/fsync")
+	}
+}
+
+// BenchmarkJournalReplay measures decode + CRC validation per record over
+// a 4096-record journal — the boot-time recovery cost per journaled
+// session operation.
+func BenchmarkJournalReplay(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "replay.wal")
+	j, _, err := Open(path, Options{NoSync: true, CompactMinRecords: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const records = 4096
+	for i := 0; i < records; i++ {
+		if err := j.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		rs, err := Replay(path, func(Record) error { n++; return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != records || rs.Torn {
+			b.Fatalf("replayed %d records (torn=%v), want %d", n, rs.Torn, records)
+		}
+	}
+	b.StopTimer()
+	// Per-record cost is the comparable unit across journal sizes.
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/records, "ns/record")
+}

@@ -1,0 +1,802 @@
+// Package journal is the durable session write-ahead log of the serving
+// layer: an append-only, CRC-framed record stream that makes live sessions
+// survive a crash (kill -9, OOM, node loss) even though serve-layer
+// snapshots deliberately exclude session rows (Sessions.SuspendAndDump —
+// context is re-sensed, §5). Every acknowledged Sessions.Set/Drop is
+// fsynced to the journal before the acknowledgement, so boot-time replay
+// reconstructs exactly the acknowledged session state by re-applying each
+// record through the ordinary merged-apply path — ctx_* events and context
+// fingerprints are rebuilt, not restored, and therefore cannot drift from
+// what a fresh apply would produce.
+//
+// # File format
+//
+// A journal file is an 8-byte magic header followed by frames:
+//
+//	[4B little-endian payload length][4B CRC32-C of payload][payload]
+//
+// The payload is the JSON encoding of Record. The CRC covers only the
+// payload; the length field is additionally sanity-bounded (maxRecordSize)
+// so a corrupt length cannot force a huge allocation. Replay stops at the
+// first frame that is short, over-long or CRC-mismatched: everything
+// before it is recovered, the tail is reported as torn. A journal opened
+// for appending truncates such a torn tail away first, so a crash mid
+// write never poisons later appends.
+//
+// # Group commit
+//
+// All appends go through one writer goroutine. Submit enqueues the
+// marshaled record and returns a wait function; the writer drains every
+// queued record, writes them in one buffered pass and calls fsync once,
+// then releases all their waiters. Concurrent session applies on one shard
+// therefore share a single fsync (the dominant cost), and the rank path —
+// which never journals — is untouched.
+//
+// # Compaction
+//
+// The journal tracks, per user, the frame of the latest live Set record
+// (a Drop removes the user). Once the file holds more dead records
+// (superseded Sets, Drops, Sets of since-dropped users) than live ones —
+// and at least Options.CompactMinRecords in total — the writer rewrites
+// the file from the live map alone, in original sequence order, to a
+// temporary file that is fsynced and renamed over the journal. Under
+// arbitrary session churn the file is therefore bounded by the live
+// session population, and replay cost stays proportional to live state.
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// SyncDir best-effort fsyncs a directory, persisting renames and file
+// creations within it (the metadata half of crash durability: without
+// it, a power cut can undo a rename whose *file data* was fsynced).
+// Errors are ignored — some filesystems/platforms reject directory
+// fsync, and the fallback behavior (metadata flushed by the next
+// journal-wide sync) degrades gracefully.
+func SyncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	d.Close()
+}
+
+// WriteFileSync writes data to path with an fsync before close — the
+// durable sibling of os.WriteFile, for manifest files whose content must
+// survive the rename that publishes them.
+func WriteFileSync(path string, data []byte, perm os.FileMode) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// magic identifies a journal file (and its framing version). Bump the
+// trailing digit on incompatible frame changes.
+var magic = []byte("CARWAL1\n")
+
+// maxRecordSize bounds one frame's payload. Session measurement lists are
+// small; the bound exists so a corrupt length field makes replay stop at a
+// torn tail instead of attempting a multi-gigabyte allocation.
+const maxRecordSize = 16 << 20
+
+// frameOverhead is the per-record framing cost: length + CRC.
+const frameOverhead = 8
+
+// castagnoli is the CRC-32C table (the iSCSI polynomial, hardware
+// accelerated on amd64/arm64 — the usual WAL checksum choice).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Op is the journaled session operation.
+type Op uint8
+
+const (
+	// OpSet replaces the user's session measurements.
+	OpSet Op = 1
+	// OpDrop ends the user's session.
+	OpDrop Op = 2
+)
+
+// Measurement is the journal's own wire shape for one session measurement.
+// It mirrors situation.Measurement but carries explicit JSON tags so the
+// on-disk format is stable against field renames in the engine.
+type Measurement struct {
+	Concept    string  `json:"c"`
+	Individual string  `json:"i,omitempty"`
+	Prob       float64 `json:"p"`
+	Exclusive  string  `json:"x,omitempty"`
+	Source     string  `json:"s,omitempty"`
+}
+
+// Record is one journaled session operation. Seq is assigned by the
+// journal at submit time and increases monotonically within a file;
+// compaction preserves the original Seq values (and their order), so a
+// replayed record's Seq always reflects its original apply order.
+type Record struct {
+	Op           Op            `json:"op"`
+	Seq          uint64        `json:"seq"`
+	User         string        `json:"user"`
+	Measurements []Measurement `json:"ms,omitempty"`
+	// Fingerprint is the context fingerprint the serving layer computed
+	// for this Set — informational: replay recomputes it through the
+	// ordinary apply path and can cross-check against this value.
+	Fingerprint string `json:"fp,omitempty"`
+	// Epoch is the facade epoch at apply time (informational).
+	Epoch int64 `json:"epoch,omitempty"`
+}
+
+// Options tunes a journal.
+type Options struct {
+	// NoSync disables the per-batch fsync. Appends are then only as
+	// durable as the OS page cache — useful for benchmarks and for tests
+	// of the framing/compaction machinery, not for production. SetNoSync
+	// flips it at runtime; Sync forces an fsync barrier regardless.
+	NoSync bool
+	// CompactMinRecords is the minimum total record count before
+	// compaction triggers (0 means DefaultCompactMinRecords). Compaction
+	// then runs whenever dead records outnumber live ones.
+	CompactMinRecords int
+}
+
+// DefaultCompactMinRecords is the compaction floor: below this many total
+// records a rewrite would save less than it costs.
+const DefaultCompactMinRecords = 512
+
+// Stats is a journal's observable state, shaped for /v1/stats.
+type Stats struct {
+	// Appends counts acknowledged records since open.
+	Appends int64 `json:"appends"`
+	// Batches counts group commits; Appends/Batches is the achieved
+	// group-commit factor.
+	Batches int64 `json:"batches"`
+	// Fsyncs counts file syncs (one per batch unless NoSync).
+	Fsyncs int64 `json:"fsyncs"`
+	// Compactions counts live-record rewrites of the file.
+	Compactions int64 `json:"compactions"`
+	// CompactFailures counts rewrite attempts that errored (e.g. ENOSPC
+	// on the temp file). The journal keeps appending and retries after
+	// the next batch, but a growing value here with Compactions flat
+	// means the file is NOT being bounded — surface it, don't guess.
+	CompactFailures int64 `json:"compact_failures"`
+	// LiveRecords is the current number of users with a live Set record.
+	LiveRecords int `json:"live_records"`
+	// TotalRecords is the number of records in the file (live + dead).
+	TotalRecords int `json:"total_records"`
+	// Bytes is the current file size.
+	Bytes int64 `json:"bytes"`
+}
+
+// Merge folds another journal's stats into a combined view — the shard
+// coordinator aggregates per-shard journals with it.
+func (s Stats) Merge(o Stats) Stats {
+	return Stats{
+		Appends:         s.Appends + o.Appends,
+		Batches:         s.Batches + o.Batches,
+		Fsyncs:          s.Fsyncs + o.Fsyncs,
+		Compactions:     s.Compactions + o.Compactions,
+		CompactFailures: s.CompactFailures + o.CompactFailures,
+		LiveRecords:     s.LiveRecords + o.LiveRecords,
+		TotalRecords:    s.TotalRecords + o.TotalRecords,
+		Bytes:           s.Bytes + o.Bytes,
+	}
+}
+
+// liveEntry is the latest Set frame for one user, kept for compaction.
+type liveEntry struct {
+	seq     uint64
+	payload []byte // marshaled Record JSON (not framed)
+}
+
+// pending is one submitted record waiting for its group commit. A
+// barrier carries no record: it just forces the batch that contains it
+// to fsync (even under NoSync) and completes once everything submitted
+// before it is durable.
+type pending struct {
+	user    string
+	op      Op
+	seq     uint64
+	payload []byte
+	barrier bool
+	done    chan error
+}
+
+// Journal is an append-only session WAL over one file. All methods are
+// safe for concurrent use; appends are totally ordered by Submit call
+// order (callers that need apply order = journal order must serialize
+// their apply+Submit sections, as serve.Sessions does under its mutex).
+type Journal struct {
+	path string
+	opts Options
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*pending
+	closed bool
+	werr   error // sticky writer error; fails all later submits
+	seq    uint64
+
+	// Writer-goroutine state (no lock needed beyond the handoff above).
+	f     *os.File
+	size  int64
+	total int
+	live  map[string]liveEntry
+
+	exited chan struct{}
+
+	// nosync mirrors Options.NoSync, atomically flippable at runtime
+	// (SetNoSync): the writer goroutine reads it per batch, recovery
+	// replay suspends fsync through it.
+	nosync atomic.Bool
+
+	appends         atomic.Int64
+	batches         atomic.Int64
+	fsyncs          atomic.Int64
+	compactions     atomic.Int64
+	compactFailures atomic.Int64
+	liveCount       atomic.Int64
+	totalCount      atomic.Int64
+	bytes           atomic.Int64
+}
+
+// Open opens (creating if absent) the journal at path for appending. An
+// existing file is scanned first: its records rebuild the live map and
+// sequence counter, and a torn tail — a crash artifact — is truncated
+// away. The scan's outcome is returned so callers can log what a previous
+// incarnation left behind.
+func Open(path string, opts Options) (*Journal, ReplayStats, error) {
+	if opts.CompactMinRecords <= 0 {
+		opts.CompactMinRecords = DefaultCompactMinRecords
+	}
+	j := &Journal{
+		path: path,
+		opts: opts,
+		live: make(map[string]liveEntry),
+	}
+	j.nosync.Store(opts.NoSync)
+	j.cond = sync.NewCond(&j.mu)
+	j.exited = make(chan struct{})
+
+	var rs ReplayStats
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, rs, fmt.Errorf("journal: open: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, rs, fmt.Errorf("journal: stat: %w", err)
+	}
+	if info.Size() == 0 {
+		if _, err := f.Write(magic); err != nil {
+			f.Close()
+			return nil, rs, fmt.Errorf("journal: writing header: %w", err)
+		}
+		j.size = int64(len(magic))
+	} else {
+		// Recover the valid prefix of an existing file.
+		valid, stats, err := scan(f, func(rec Record, payload []byte) {
+			j.applyLive(rec, payload)
+			if rec.Seq > j.seq {
+				j.seq = rec.Seq
+			}
+			j.total++
+		})
+		if err != nil {
+			f.Close()
+			return nil, stats, err
+		}
+		rs = stats
+		if valid < info.Size() {
+			// Torn tail from a crash mid-append: cut it off so new frames
+			// start at a clean boundary.
+			if err := f.Truncate(valid); err != nil {
+				f.Close()
+				return nil, rs, fmt.Errorf("journal: truncating torn tail: %w", err)
+			}
+		}
+		if _, err := f.Seek(valid, io.SeekStart); err != nil {
+			f.Close()
+			return nil, rs, fmt.Errorf("journal: seek: %w", err)
+		}
+		if valid == 0 {
+			// The magic header itself was torn (a crash during the very
+			// first write left fewer than 8 bytes). Rewrite it — appending
+			// frames at offset 0 without a header would make every later
+			// Replay reject the whole file as bad magic, losing records
+			// that were acknowledged as durable.
+			if _, err := f.Write(magic); err != nil {
+				f.Close()
+				return nil, rs, fmt.Errorf("journal: rewriting header: %w", err)
+			}
+			valid = int64(len(magic))
+		}
+		j.size = valid
+	}
+	j.f = f
+	j.publishCounters()
+	go j.writer()
+	return j, rs, nil
+}
+
+// applyLive folds one record into the live map (writer goroutine / open
+// scan only).
+func (j *Journal) applyLive(rec Record, payload []byte) {
+	switch rec.Op {
+	case OpSet:
+		j.live[rec.User] = liveEntry{seq: rec.Seq, payload: payload}
+	case OpDrop:
+		delete(j.live, rec.User)
+	}
+}
+
+func (j *Journal) publishCounters() {
+	j.liveCount.Store(int64(len(j.live)))
+	j.totalCount.Store(int64(j.total))
+	j.bytes.Store(j.size)
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Stats snapshots the journal counters lock-free.
+func (j *Journal) Stats() Stats {
+	return Stats{
+		Appends:         j.appends.Load(),
+		Batches:         j.batches.Load(),
+		Fsyncs:          j.fsyncs.Load(),
+		Compactions:     j.compactions.Load(),
+		CompactFailures: j.compactFailures.Load(),
+		LiveRecords:     int(j.liveCount.Load()),
+		TotalRecords:    int(j.totalCount.Load()),
+		Bytes:           j.bytes.Load(),
+	}
+}
+
+// SetNoSync flips the per-batch fsync at runtime. Recovery replay turns
+// syncing off while it re-journals the restored sessions one by one —
+// each routed apply would otherwise pay a full fsync — and turns it back
+// on (followed by one Sync barrier) before the new journal generation
+// becomes authoritative, so the durability guarantee is unchanged.
+func (j *Journal) SetNoSync(v bool) { j.nosync.Store(v) }
+
+// Sync is an fsync barrier: it returns once everything submitted before
+// the call is durable, forcing a file sync even when NoSync is set.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return errors.New("journal: closed")
+	}
+	if j.werr != nil {
+		err := j.werr
+		j.mu.Unlock()
+		return fmt.Errorf("journal: previous write failed: %w", err)
+	}
+	p := &pending{barrier: true, done: make(chan error, 1)}
+	j.queue = append(j.queue, p)
+	j.mu.Unlock()
+	j.cond.Signal()
+	return <-p.done
+}
+
+// Submit enqueues the record for the next group commit and returns a wait
+// function that blocks until the record is durable (written and fsynced,
+// unless NoSync) and reports the outcome. Records become visible to
+// replay in Submit order. The returned function must be called exactly
+// once; callers serialize Submit with their in-memory apply to keep
+// journal order equal to apply order, then wait outside their locks so
+// successive applies share one fsync.
+func (j *Journal) Submit(rec Record) func() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return waitErr(errors.New("journal: closed"))
+	}
+	if j.werr != nil {
+		err := j.werr
+		j.mu.Unlock()
+		return waitErr(fmt.Errorf("journal: previous write failed: %w", err))
+	}
+	j.seq++
+	rec.Seq = j.seq
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		j.mu.Unlock()
+		return waitErr(fmt.Errorf("journal: marshal: %w", err))
+	}
+	if len(payload) > maxRecordSize {
+		j.mu.Unlock()
+		return waitErr(fmt.Errorf("journal: record for %q is %d bytes (max %d)", rec.User, len(payload), maxRecordSize))
+	}
+	p := &pending{user: rec.User, op: rec.Op, seq: rec.Seq, payload: payload, done: make(chan error, 1)}
+	j.queue = append(j.queue, p)
+	j.mu.Unlock()
+	j.cond.Signal()
+	return func() error { return <-p.done }
+}
+
+// Append submits the record and waits for durability — the convenience
+// form for callers without a lock to get out from under.
+func (j *Journal) Append(rec Record) error {
+	return j.Submit(rec)()
+}
+
+func waitErr(err error) func() error {
+	return func() error { return err }
+}
+
+// writer is the single append goroutine: it drains the queue, writes all
+// drained frames in one buffered pass, fsyncs once, releases the waiters,
+// then considers compaction.
+func (j *Journal) writer() {
+	defer close(j.exited)
+	for {
+		j.mu.Lock()
+		for len(j.queue) == 0 && !j.closed {
+			j.cond.Wait()
+		}
+		batch := j.queue
+		j.queue = nil
+		closed := j.closed
+		j.mu.Unlock()
+
+		if len(batch) > 0 {
+			// A sticky error fails the whole batch up front — records
+			// queued before the error was set included. Writing them
+			// anyway would append past a torn region (or onto an unlinked
+			// pre-compaction inode) and acknowledge records that replay
+			// can never reach.
+			j.mu.Lock()
+			err := j.werr
+			j.mu.Unlock()
+			if err != nil {
+				err = fmt.Errorf("journal: previous write failed: %w", err)
+			} else if err = j.writeBatch(batch); err != nil {
+				j.mu.Lock()
+				j.werr = err
+				j.mu.Unlock()
+			}
+			for _, p := range batch {
+				p.done <- err
+			}
+			if err == nil {
+				j.maybeCompact()
+			}
+		}
+		if closed {
+			j.mu.Lock()
+			remaining := j.queue
+			j.queue = nil
+			j.mu.Unlock()
+			for _, p := range remaining {
+				p.done <- errors.New("journal: closed")
+			}
+			return
+		}
+	}
+}
+
+// writeBatch appends every frame of the batch and fsyncs once (the group
+// commit). On error the file may hold a torn tail; Open truncates it on
+// the next boot, and the sticky error fails this incarnation's later
+// submits.
+func (j *Journal) writeBatch(batch []*pending) error {
+	w := bufio.NewWriter(j.f)
+	var frame [frameOverhead]byte
+	records, barriers := 0, 0
+	for _, p := range batch {
+		if p.barrier {
+			barriers++
+			continue
+		}
+		records++
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(p.payload)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(p.payload, castagnoli))
+		if _, err := w.Write(frame[:]); err != nil {
+			return fmt.Errorf("journal: write: %w", err)
+		}
+		if _, err := w.Write(p.payload); err != nil {
+			return fmt.Errorf("journal: write: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("journal: flush: %w", err)
+	}
+	// A barrier forces the sync even under NoSync: earlier NoSync batches
+	// sit in the page cache of the same fd, so this one fsync makes them
+	// all durable.
+	if (records > 0 && !j.nosync.Load()) || barriers > 0 {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync: %w", err)
+		}
+		j.fsyncs.Add(1)
+	}
+	for _, p := range batch {
+		if p.barrier {
+			continue
+		}
+		j.size += int64(frameOverhead + len(p.payload))
+		j.total++
+		j.applyLive(Record{Op: p.op, Seq: p.seq, User: p.user}, p.payload)
+	}
+	if records > 0 {
+		j.appends.Add(int64(records))
+		j.batches.Add(1)
+	}
+	j.publishCounters()
+	return nil
+}
+
+// maybeCompact rewrites the journal from the live map when dead records
+// dominate (writer goroutine only). The rewrite goes to a temporary file
+// that is fully written and fsynced before being renamed over the
+// journal, so a crash at any instant leaves either the old complete file
+// or the new complete file — never a mix.
+func (j *Journal) maybeCompact() {
+	dead := j.total - len(j.live)
+	if j.total < j.opts.CompactMinRecords || dead <= len(j.live) {
+		return
+	}
+	if err := j.compact(); err != nil {
+		// Not fatal: the rename never happened (compact removes only its
+		// temporary file on error), so the journal keeps appending to the
+		// intact old file and retries after the next batch. Counted so a
+		// persistently failing rewrite (ENOSPC, permissions) is visible
+		// in /v1/stats as compact_failures climbing while the file grows,
+		// instead of vanishing silently.
+		j.compactFailures.Add(1)
+		return
+	}
+	j.compactions.Add(1)
+	j.publishCounters()
+}
+
+func (j *Journal) compact() error {
+	entries := make([]liveEntry, 0, len(j.live))
+	for _, e := range j.live {
+		entries = append(entries, e)
+	}
+	// Original submit order: replay after compaction applies users in the
+	// same relative order as the uncompacted file would have.
+	sort.Slice(entries, func(a, b int) bool { return entries[a].seq < entries[b].seq })
+
+	tmpPath := j.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(tmp)
+	size := int64(len(magic))
+	if _, err := w.Write(magic); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	var frame [frameOverhead]byte
+	for _, e := range entries {
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(e.payload)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(e.payload, castagnoli))
+		if _, err := w.Write(frame[:]); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		if _, err := w.Write(e.payload); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		size += int64(frameOverhead + len(e.payload))
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if !j.nosync.Load() {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, j.path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if !j.nosync.Load() {
+		// Persist the rename itself; without the directory sync a power
+		// cut can roll the directory entry back to the pre-compaction
+		// file (fine) or, worse, an in-between metadata state.
+		SyncDir(filepath.Dir(j.path))
+	}
+	// The old fd now points at an unlinked inode; reopen the renamed file
+	// for further appends. Failing here is the one compaction error that
+	// cannot be retried — appends through the stale fd would vanish with
+	// the unlinked inode — so it poisons the journal (sticky error) instead
+	// of being swallowed by maybeCompact.
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		err = fmt.Errorf("journal: reopen after compaction: %w", err)
+		j.mu.Lock()
+		j.werr = err
+		j.mu.Unlock()
+		return err
+	}
+	j.f.Close()
+	j.f = f
+	j.size = size
+	j.total = len(entries)
+	return nil
+}
+
+// Close drains the queue, syncs and closes the file. Submits after Close
+// fail. Durability needs no separate Sync call: every Submit's wait
+// function already blocks until its record's group commit is fsynced.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		<-j.exited
+		return nil
+	}
+	j.closed = true
+	j.mu.Unlock()
+	j.cond.Signal()
+	<-j.exited
+	var err error
+	if !j.nosync.Load() {
+		err = j.f.Sync()
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// --- replay ----------------------------------------------------------------
+
+// ReplayStats describes what a replay (or open-scan) recovered.
+type ReplayStats struct {
+	// Records is how many valid records were read.
+	Records int
+	// Sets / Drops break Records down by operation.
+	Sets  int
+	Drops int
+	// Torn is true when the file ended in an incomplete or corrupt frame;
+	// TornBytes is how many trailing bytes were discarded.
+	Torn      bool
+	TornBytes int64
+}
+
+// Replay reads the journal at path and calls fn for every valid record in
+// order. A missing file replays zero records. Replay stops cleanly at a
+// torn or corrupt tail (reported in the stats); an fn error aborts the
+// replay and is returned. Replay never writes.
+func Replay(path string, fn func(Record) error) (ReplayStats, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return ReplayStats{}, nil
+	}
+	if err != nil {
+		return ReplayStats{}, fmt.Errorf("journal: open for replay: %w", err)
+	}
+	defer f.Close()
+	var ferr error
+	_, stats, err := scan(f, func(rec Record, _ []byte) {
+		if ferr == nil {
+			ferr = fn(rec)
+		}
+	})
+	if err != nil {
+		return stats, err
+	}
+	if ferr != nil {
+		return stats, ferr
+	}
+	return stats, nil
+}
+
+// scan reads frames from the start of f, calling fn for each valid record
+// with its payload bytes, and returns the byte offset of the end of the
+// valid prefix. A *truncated* header yields zero records with the whole
+// file torn; a present-but-wrong magic is a hard error (the file is not a
+// journal — treating it as torn would silently "recover" zero records
+// from, or let Open truncate, arbitrary foreign files; boot-level callers
+// that prefer availability handle the error per file, see the BadFiles
+// counter in shard recovery). Any framing violation after a good
+// header ends the scan at the last good frame: corrupt mid-file bytes are
+// indistinguishable from a torn tail without a segment index, so
+// everything after the first bad frame is conservatively treated as lost
+// (and counted in TornBytes).
+func scan(f *os.File, fn func(rec Record, payload []byte)) (validEnd int64, stats ReplayStats, err error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, stats, fmt.Errorf("journal: stat: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, stats, fmt.Errorf("journal: seek: %w", err)
+	}
+	r := bufio.NewReader(f)
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		// Shorter than a header: the whole file is torn.
+		stats.Torn = true
+		stats.TornBytes = info.Size()
+		return 0, stats, nil
+	}
+	if string(hdr) != string(magic) {
+		return 0, stats, fmt.Errorf("journal: bad magic %q (not a journal file?)", hdr)
+	}
+	offset := int64(len(magic))
+	var frame [frameOverhead]byte
+	for {
+		if _, err := io.ReadFull(r, frame[:]); err != nil {
+			if !errors.Is(err, io.EOF) {
+				// Partial frame header.
+				stats.Torn = true
+			}
+			break
+		}
+		n := binary.LittleEndian.Uint32(frame[0:4])
+		want := binary.LittleEndian.Uint32(frame[4:8])
+		if n > maxRecordSize {
+			stats.Torn = true
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			stats.Torn = true
+			break
+		}
+		if crc32.Checksum(payload, castagnoli) != want {
+			stats.Torn = true
+			break
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			stats.Torn = true
+			break
+		}
+		offset += int64(frameOverhead) + int64(n)
+		stats.Records++
+		switch rec.Op {
+		case OpSet:
+			stats.Sets++
+		case OpDrop:
+			stats.Drops++
+		}
+		fn(rec, payload)
+	}
+	stats.TornBytes = info.Size() - offset
+	if stats.TornBytes > 0 {
+		stats.Torn = true
+	}
+	return offset, stats, nil
+}

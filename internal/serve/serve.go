@@ -35,8 +35,11 @@
 // interface (cmd/carserved is the daemon around it). The shard subpackage
 // scales the layer horizontally: a shard.Coordinator owns N Servers,
 // routes per-user traffic by consistent hash and broadcasts vocabulary
-// writes, behind the same Backend interface. See DESIGN.md §3/§3.5 for
-// the architecture discussion.
+// writes, behind the same Backend interface. The journal subpackage makes
+// session state crash-durable: with a WAL attached (AttachJournal), every
+// acknowledged Set/Drop is fsynced before the acknowledgement and boot
+// replays it through the ordinary apply path. See DESIGN.md §3/§3.5/§3.6
+// for the architecture discussion.
 package serve
 
 import (

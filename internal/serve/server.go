@@ -8,6 +8,7 @@ import (
 	"time"
 
 	contextrank "repro"
+	"repro/internal/serve/journal"
 )
 
 // Options tunes a Server.
@@ -120,6 +121,12 @@ func (s *Server) Facade() *Facade { return s.facade }
 
 // Sessions returns the per-user session manager.
 func (s *Server) Sessions() *Sessions { return s.sessions }
+
+// AttachJournal arms the session write-ahead log (see Sessions
+// AttachJournal): acknowledged session updates then survive a crash via
+// boot-time replay. The server does not own the journal's lifecycle; the
+// caller (shard.Coordinator.RecoverSessions, or a test) closes it.
+func (s *Server) AttachJournal(j *journal.Journal) { s.sessions.AttachJournal(j) }
 
 // RankMeta describes how a Rank call was served.
 type RankMeta struct {
@@ -516,6 +523,10 @@ type Stats struct {
 	// that user ranks at that state.
 	Plans   CacheStats   `json:"plan_cache"`
 	Latency LatencyStats `json:"latency"`
+	// Journal is the session write-ahead log (appends, group-commit
+	// batches, fsyncs, compactions, live/total records); nil when the
+	// server runs without session durability.
+	Journal *journal.Stats `json:"journal,omitempty"`
 	// Broadcast describes cross-shard vocabulary writes; only a sharded
 	// backend fills it.
 	Broadcast *BroadcastStats `json:"broadcast,omitempty"`
@@ -563,6 +574,12 @@ func (s *Server) Stats() Stats {
 	}
 	if s.plans != nil {
 		st.Plans = s.plans.stats()
+	}
+	if j := s.sessions.Journal(); j != nil {
+		// Journal counters are atomics; reading them keeps the scrape
+		// lock-free.
+		js := j.Stats()
+		st.Journal = &js
 	}
 	return st
 }

@@ -11,6 +11,7 @@ import (
 	contextrank "repro"
 	"repro/internal/dl"
 	"repro/internal/mapping"
+	"repro/internal/serve/journal"
 	"repro/internal/situation"
 )
 
@@ -96,6 +97,14 @@ type Sessions struct {
 	// section — checking before taking the lock would leave a TOCTOU
 	// window in which a session could claim the concept first.
 	appliedConcepts sync.Map
+
+	// wal, when attached, makes session state crash-durable: every
+	// successful Set/Drop is submitted to the write-ahead log while s.mu
+	// is still held (so journal order equals apply order) and waited for
+	// *after* the release, so successive applies share one group-commit
+	// fsync instead of serializing on the disk. The rank path never
+	// touches it. Atomic so the lock-free Stats scrape can read it.
+	wal atomic.Pointer[journal.Journal]
 }
 
 type session struct {
@@ -142,6 +151,27 @@ func (s *Sessions) Set(user string, measurements []Measurement) (string, error) 
 			return "", fmt.Errorf("serve: exclusive group %q probabilities sum to %g > 1", group, sum)
 		}
 	}
+	fp, wait, err := s.setValidated(user, measurements)
+	if err != nil {
+		return "", err
+	}
+	if wait != nil {
+		if jerr := wait(); jerr != nil {
+			// The session is applied in memory but not durable; the caller
+			// never gets a success acknowledgement, so the recovery
+			// guarantee ("every acknowledged update survives a crash")
+			// holds. A retry re-applies and re-journals idempotently.
+			return "", fmt.Errorf("serve: session for %q applied but not journaled: %w", user, jerr)
+		}
+	}
+	return fp, nil
+}
+
+// setValidated is Set's locked body. On success it returns the new
+// fingerprint plus, when a journal is attached, a durability wait function
+// submitted while s.mu was held — the caller invokes it after the lock is
+// released so concurrent session applies batch into one fsync.
+func (s *Sessions) setValidated(user string, measurements []Measurement) (string, func() error, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	prev, had := s.users[user]
@@ -174,7 +204,8 @@ func (s *Sessions) Set(user string, measurements []Measurement) (string, error) 
 		// epoch, but a ranking landing between that bump and the restore
 		// can still cache a torn-context result under the new epoch —
 		// bump once more after the restore so nothing cached inside the
-		// window survives.
+		// window survives. Nothing is journaled: the journal records only
+		// state that actually took effect.
 		if had {
 			s.users[user] = prev
 		} else {
@@ -182,21 +213,57 @@ func (s *Sessions) Set(user string, measurements []Measurement) (string, error) 
 		}
 		_ = s.applyMergedLocked(changed)
 		s.f.bumpEpoch()
-		return "", err
+		return "", nil, err
 	}
-	return sess.fingerprint, nil
+	var wait func() error
+	if j := s.wal.Load(); j != nil {
+		wait = j.Submit(journal.Record{
+			Op:           journal.OpSet,
+			User:         user,
+			Measurements: ToJournalMeasurements(ms),
+			Fingerprint:  sess.fingerprint,
+			Epoch:        s.f.Epoch(),
+		})
+	}
+	return sess.fingerprint, wait, nil
 }
 
 // Drop ends the user's session and re-applies the remaining sessions'
 // merged context, which retires the dropped user's basic events from the
 // event space along with the rest of the previous snapshot's. Dropping an
-// unknown user is a no-op.
+// unknown user is a no-op in memory but is still journaled when a WAL is
+// attached: the previous drop of that user may have been applied and then
+// failed its journal write (the client saw an error and is retrying), and
+// without a Drop record the WAL would still hold a live Set whose crash
+// replay resurrects the acknowledged-dropped session.
 func (s *Sessions) Drop(user string) error {
+	wait, err := s.dropLocked(user)
+	if err != nil {
+		return err
+	}
+	if wait != nil {
+		if jerr := wait(); jerr != nil {
+			return fmt.Errorf("serve: session drop for %q applied but not journaled: %w", user, jerr)
+		}
+	}
+	return nil
+}
+
+// dropLocked is Drop's locked body; see setValidated for the journal
+// submit/wait split.
+func (s *Sessions) dropLocked(user string) (func() error, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sess, ok := s.users[user]
 	if !ok {
-		return nil
+		// See Drop: the record must land even without an in-memory
+		// session, or a retried drop could leave a resurrectable Set in
+		// the WAL. Compaction treats drops of absent users as dead, so
+		// these cost nothing durable.
+		if j := s.wal.Load(); j != nil {
+			return j.Submit(journal.Record{Op: journal.OpDrop, User: user, Epoch: s.f.Epoch()}), nil
+		}
+		return nil, nil
 	}
 	changed := make(map[string]bool)
 	for _, m := range sess.measurements {
@@ -210,9 +277,17 @@ func (s *Sessions) Drop(user string) error {
 		s.users[user] = sess
 		_ = s.applyMergedLocked(changed)
 		s.f.bumpEpoch()
-		return err
+		return nil, err
 	}
-	return nil
+	var wait func() error
+	if j := s.wal.Load(); j != nil {
+		wait = j.Submit(journal.Record{
+			Op:    journal.OpDrop,
+			User:  user,
+			Epoch: s.f.Epoch(),
+		})
+	}
+	return wait, nil
 }
 
 // Fingerprint returns the user's current context fingerprint, or "" when
@@ -435,10 +510,13 @@ func (s *Sessions) applyMergedFacadeLocked(changed map[string]bool) error {
 // with the merged session context *retracted*, then re-applies the merged
 // context — all inside one facade write critical section, so no reader
 // ever observes the suspended state. Serving-layer snapshots therefore
-// contain only durable state: session context is never persisted (it is
-// sensed fresh after a restart, the paper's §5 position), and a restored
-// server's session manager starts with clean concept tables instead of
-// refusing its own vocabulary as foreign data.
+// contain only durable state: session context is never part of a
+// snapshot, and a restored server's session manager starts with clean
+// concept tables instead of refusing its own vocabulary as foreign data.
+// Session persistence is the journal's job (AttachJournal): boot-time
+// replay re-applies the journaled measurements through Set, the same
+// path live traffic takes — or, without a journal, context is simply
+// re-sensed after a restart (the paper's §5 position).
 //
 // The epoch is bumped on the way out regardless of outcome: a failed
 // re-apply leaves the context torn, and conservative invalidation is the
@@ -500,6 +578,47 @@ func roleFillerConcepts(e *dl.Expr, inFiller bool, out map[string]bool) {
 	for _, a := range e.Args() {
 		roleFillerConcepts(a, inside, out)
 	}
+}
+
+// AttachJournal arms the session write-ahead log: from now on every
+// successful Set/Drop is durable (fsynced via group commit) before it is
+// acknowledged. Attach before serving traffic; attaching replaces any
+// previous journal without closing it.
+func (s *Sessions) AttachJournal(j *journal.Journal) { s.wal.Store(j) }
+
+// Journal returns the attached session WAL, or nil.
+func (s *Sessions) Journal() *journal.Journal { return s.wal.Load() }
+
+// ToJournalMeasurements converts serving-layer measurements to the
+// journal's stable wire shape.
+func ToJournalMeasurements(ms []Measurement) []journal.Measurement {
+	out := make([]journal.Measurement, len(ms))
+	for i, m := range ms {
+		out[i] = journal.Measurement{
+			Concept:    m.Concept,
+			Individual: m.Individual,
+			Prob:       m.Prob,
+			Exclusive:  m.Exclusive,
+			Source:     m.Source,
+		}
+	}
+	return out
+}
+
+// FromJournalMeasurements is ToJournalMeasurements' inverse, used by
+// boot-time replay to feed journaled records back through SetSession.
+func FromJournalMeasurements(ms []journal.Measurement) []Measurement {
+	out := make([]Measurement, len(ms))
+	for i, m := range ms {
+		out[i] = Measurement{
+			Concept:    m.Concept,
+			Individual: m.Individual,
+			Prob:       m.Prob,
+			Exclusive:  m.Exclusive,
+			Source:     m.Source,
+		}
+	}
+	return out
 }
 
 // fingerprint hashes a session's measurements (FNV-64a). The user is mixed

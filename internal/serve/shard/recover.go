@@ -1,0 +1,291 @@
+package shard
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/serve"
+	"repro/internal/serve/journal"
+)
+
+// journalManifestName is the pointer to the current journal generation.
+// Like the snapshot manifest it is the only thing that makes a generation
+// authoritative, and it is switched by atomic rename — so a crash at any
+// instant during boot-time replay leaves it pointing at a complete
+// generation (the previous one until the switch, the new one after),
+// never at a half-replayed mix.
+const journalManifestName = "journal.manifest.json"
+
+// journalManifestVersion guards the directory layout, not the per-file
+// frame format (the journal file carries its own magic).
+const journalManifestVersion = 1
+
+type journalManifest struct {
+	Version int    `json:"version"`
+	Shards  int    `json:"shards"`
+	Gen     string `json:"gen"`
+}
+
+// journalFile names shard i's WAL within journal generation gen.
+func journalFile(dir, gen string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("sessions-%s-%03d.wal", gen, i))
+}
+
+// RecoveryStats describes a boot-time session recovery: how much of the
+// previous incarnation's journaled state came back, and how.
+type RecoveryStats struct {
+	// Files is how many previous-generation journal files were read.
+	Files int
+	// Records is the total valid records replayed (sets + drops).
+	Records int
+	// Users is the number of distinct users with a live session after the
+	// replay (sets applied minus drops).
+	Users int
+	// Drops counts replayed drop records.
+	Drops int
+	// Failed counts records whose re-apply errored (e.g. vocabulary
+	// missing from the restored snapshot); replay continues past them,
+	// and the raw records are preserved in the new generation so a later
+	// boot — perhaps after the missing vocabulary is restored — can retry
+	// instead of losing the only copy to the stale-file cleanup.
+	Failed int
+	// BadFiles counts previous-generation files rejected outright (e.g.
+	// an overwritten header). Nothing in such a file is salvageable, but
+	// one corrupt file must not brick every subsequent boot: recovery
+	// counts it and carries on with the remaining shards' journals.
+	BadFiles int
+	// FingerprintMismatches counts sets whose recomputed fingerprint
+	// differed from the journaled one — always zero unless the
+	// fingerprint function changed between incarnations.
+	FingerprintMismatches int
+	// TornFiles counts files that ended in a torn or corrupt tail (the
+	// valid prefix was still replayed).
+	TornFiles int
+}
+
+// RecoverSessions makes the coordinator's session state crash-durable
+// against dir, in three steps:
+//
+//  1. A fresh journal generation is created — one WAL per shard — and
+//     attached to every shard's server, so session traffic is journaled
+//     from here on.
+//  2. The previous generation (per the journal manifest, if any) is
+//     replayed through the coordinator's *routed* SetSession/DropSession:
+//     each record lands on whatever shard owns its user at the current
+//     shard count, so recovery at a different -shards value reassigns
+//     sessions exactly like live traffic would — and, because the routed
+//     applies are themselves journaled, the replay simultaneously rewrites
+//     the surviving state into the new generation (a free compaction).
+//  3. The manifest is switched to the new generation by atomic rename and
+//     superseded files are removed best-effort.
+//
+// A crash before step 3's rename leaves the manifest on the old
+// generation: the next boot replays the same complete state again
+// (replay is idempotent — a Set replaces, a Drop of an absent user is a
+// no-op) and the partial new-generation files are cleaned up as stale.
+//
+// Call once, after construction (and snapshot restore) but before serving
+// traffic. Pair with CloseJournals on shutdown.
+func (c *Coordinator) RecoverSessions(dir string, opts journal.Options) (RecoveryStats, error) {
+	var stats RecoveryStats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return stats, fmt.Errorf("shard: journal dir: %w", err)
+	}
+
+	var prev *journalManifest
+	raw, err := os.ReadFile(filepath.Join(dir, journalManifestName))
+	switch {
+	case err == nil:
+		var m journalManifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return stats, fmt.Errorf("shard: parsing journal manifest: %w", err)
+		}
+		if m.Version != journalManifestVersion {
+			return stats, fmt.Errorf("shard: journal manifest version %d unsupported (want %d)", m.Version, journalManifestVersion)
+		}
+		if m.Shards <= 0 {
+			return stats, fmt.Errorf("shard: journal manifest reports %d shards", m.Shards)
+		}
+		prev = &m
+	case os.IsNotExist(err):
+		// First boot with journaling: nothing to replay.
+	default:
+		return stats, fmt.Errorf("shard: reading journal manifest: %w", err)
+	}
+
+	var genBytes [8]byte
+	if _, err := rand.Read(genBytes[:]); err != nil {
+		return stats, fmt.Errorf("shard: journal gen id: %w", err)
+	}
+	gen := hex.EncodeToString(genBytes[:])
+	js := make([]*journal.Journal, len(c.shards))
+	for i := range c.shards {
+		j, _, err := journal.Open(journalFile(dir, gen, i), opts)
+		if err != nil {
+			for _, open := range js[:i] {
+				open.Close()
+			}
+			return stats, fmt.Errorf("shard: opening journal %d: %w", i, err)
+		}
+		js[i] = j
+		c.shards[i].AttachJournal(j)
+	}
+	c.journals = js
+
+	if prev != nil {
+		// Replay re-journals every surviving record through the attached
+		// new-generation WALs. Each routed apply waits for its record's
+		// commit, strictly one at a time, so with per-batch fsync on a
+		// large session population boot would pay one fsync per record.
+		// Suspend syncing for the replay window (no traffic is being
+		// acknowledged — RecoverSessions runs before serving) and fsync
+		// once per journal before the manifest switch below makes the new
+		// generation authoritative.
+		if !opts.NoSync {
+			for _, j := range js {
+				j.SetNoSync(true)
+			}
+		}
+		// preserve keeps a record whose re-apply failed: append it raw to
+		// its routing shard's new-generation WAL so the next boot retries
+		// it. Without this the manifest switch plus stale-file cleanup
+		// would destroy the only copy over a possibly transient apply
+		// error (classic case: the boot snapshot predates the vocabulary
+		// the session references).
+		var preserveErr error
+		preserve := func(rec journal.Record) {
+			stats.Failed++
+			if err := js[ShardIndex(rec.User, len(c.shards))].Append(rec); err != nil && preserveErr == nil {
+				preserveErr = err
+			}
+		}
+		for i := 0; i < prev.Shards; i++ {
+			path := journalFile(dir, prev.Gen, i)
+			rs, err := journal.Replay(path, func(rec journal.Record) error {
+				switch rec.Op {
+				case journal.OpSet:
+					fp, err := c.SetSession(rec.User, serve.FromJournalMeasurements(rec.Measurements))
+					if err != nil {
+						preserve(rec)
+						return nil // keep replaying; one bad record must not lose the rest
+					}
+					if rec.Fingerprint != "" && fp != rec.Fingerprint {
+						stats.FingerprintMismatches++
+					}
+				case journal.OpDrop:
+					if err := c.DropSession(rec.User); err != nil {
+						preserve(rec)
+						return nil
+					}
+					stats.Drops++
+				default:
+					// A record from a newer format revision: preserve it
+					// verbatim rather than abort (or silently drop) — a
+					// downgrade-then-upgrade cycle keeps the data.
+					preserve(rec)
+				}
+				return nil
+			})
+			if err != nil {
+				stats.BadFiles++
+				continue
+			}
+			if rs.Records > 0 || rs.Torn {
+				stats.Files++
+			}
+			stats.Records += rs.Records
+			if rs.Torn {
+				stats.TornFiles++
+			}
+		}
+		stats.Users = c.Stats().Sessions
+		if preserveErr != nil {
+			// A failed-replay record could not be written into the new
+			// generation: abort *before* the manifest switch, so the old
+			// generation — the only copy — stays authoritative and the
+			// next boot retries. Proceeding would let the stale-file
+			// cleanup delete the record while stats call it preserved.
+			return stats, fmt.Errorf("shard: preserving failed records in new journal generation: %w", preserveErr)
+		}
+		if !opts.NoSync {
+			for _, j := range js {
+				j.SetNoSync(false)
+				if err := j.Sync(); err != nil {
+					return stats, fmt.Errorf("shard: syncing replayed journal: %w", err)
+				}
+			}
+		}
+	}
+
+	// Publish the new generation durably: WAL file data is already
+	// fsynced (per batch, or by the barrier above), so what remains is
+	// metadata — the WAL directory entries, the manifest's *content*
+	// (WriteFileSync; a bare os.WriteFile could leave a zero-length
+	// manifest after a power cut, bricking every subsequent boot), and
+	// the rename itself. Only after all of that is the old generation
+	// eligible for deletion.
+	journal.SyncDir(dir)
+	mf, err := json.Marshal(journalManifest{Version: journalManifestVersion, Shards: len(c.shards), Gen: gen})
+	if err != nil {
+		return stats, err
+	}
+	tmp := filepath.Join(dir, journalManifestName+".tmp")
+	if err := journal.WriteFileSync(tmp, mf, 0o644); err != nil {
+		return stats, fmt.Errorf("shard: journal manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, journalManifestName)); err != nil {
+		return stats, fmt.Errorf("shard: journal manifest: %w", err)
+	}
+	journal.SyncDir(dir)
+	removeStaleJournals(dir, gen)
+	return stats, nil
+}
+
+// removeStaleJournals best-effort deletes WAL files from generations other
+// than keep — superseded generations, or leftovers of a boot that crashed
+// before its manifest switch.
+func removeStaleJournals(dir, keep string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "sessions-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		if !strings.HasPrefix(name, "sessions-"+keep+"-") {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// CloseJournals detaches nothing — shards keep their references — but
+// drains and closes every journal opened by RecoverSessions, returning
+// the first error. Call after HTTP shutdown: a Set racing Close gets an
+// explicit journal-closed error instead of a silent durability gap.
+func (c *Coordinator) CloseJournals() error {
+	var first error
+	for _, j := range c.journals {
+		if j == nil {
+			continue
+		}
+		if err := j.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// journalOrZero unwraps an aggregate journal-stats pointer for merging.
+func journalOrZero(s *journal.Stats) journal.Stats {
+	if s == nil {
+		return journal.Stats{}
+	}
+	return *s
+}

@@ -23,6 +23,7 @@ import (
 
 	contextrank "repro"
 	"repro/internal/serve"
+	"repro/internal/serve/journal"
 )
 
 // Coordinator routes serving traffic across N shard replicas. It
@@ -49,6 +50,12 @@ type Coordinator struct {
 	shards []*serve.Server
 	start  time.Time
 	rr     atomic.Int64 // round-robin cursor for shard-agnostic reads
+
+	// journals are the per-shard session WALs opened by RecoverSessions
+	// (index = shard id; nil when the coordinator runs without session
+	// durability). Owned here for CloseJournals; the per-shard appends go
+	// through each server's session manager.
+	journals []*journal.Journal
 
 	// Broadcast-write latency: total wall time (slowest shard) per write.
 	bcastWrites atomic.Int64
@@ -283,6 +290,10 @@ func (c *Coordinator) Stats() serve.Stats {
 		agg.Cache = agg.Cache.Merge(st.Cache)
 		agg.Plans = agg.Plans.Merge(st.Plans)
 		agg.Latency = agg.Latency.Merge(st.Latency)
+		if st.Journal != nil {
+			merged := st.Journal.Merge(journalOrZero(agg.Journal))
+			agg.Journal = &merged
+		}
 	}
 	b := &serve.BroadcastStats{Writes: c.bcastWrites.Load()}
 	if b.Writes > 0 {

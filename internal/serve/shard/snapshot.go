@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	contextrank "repro"
+	"repro/internal/serve/journal"
 )
 
 // manifestName is the snapshot-directory manifest recording which save
@@ -47,8 +48,10 @@ func snapshotFile(dir, id string, i int) string {
 // a restore. Files of superseded generations are removed best-effort
 // after the manifest switch.
 //
-// Sessions are not persisted — context is sensed fresh after a restart
-// (the paper's §5 position).
+// Sessions are not part of snapshots: they are journaled continuously by
+// the session WAL instead (see RecoverSessions), which a boot replays on
+// top of the restored snapshot. A coordinator without journals simply
+// starts sessionless, context being re-sensed (the paper's §5 position).
 func (c *Coordinator) SaveSnapshots(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("shard: snapshot dir: %w", err)
@@ -65,6 +68,12 @@ func (c *Coordinator) SaveSnapshots(dir string) error {
 			return fmt.Errorf("shard: snapshot %d: %w", i, err)
 		}
 		err = s.SaveSnapshot(f)
+		if err == nil {
+			// The manifest switch below makes this file authoritative;
+			// its data must hit the disk first or a crash could leave
+			// the manifest pointing at a hollow snapshot.
+			err = f.Sync()
+		}
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -76,13 +85,15 @@ func (c *Coordinator) SaveSnapshots(dir string) error {
 	if err != nil {
 		return err
 	}
+	journal.SyncDir(dir)
 	tmp := filepath.Join(dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, mf, 0o644); err != nil {
+	if err := journal.WriteFileSync(tmp, mf, 0o644); err != nil {
 		return fmt.Errorf("shard: manifest: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
 		return fmt.Errorf("shard: manifest: %w", err)
 	}
+	journal.SyncDir(dir)
 	removeStaleSaves(dir, id)
 	return nil
 }
@@ -118,9 +129,9 @@ func HasSnapshots(dir string) bool {
 // saved with. The target shard count may differ from the saved one:
 // because every broadcast write is replicated, any saved shard holds the
 // full non-session state, so shard i restores from file i mod saved —
-// resharding (1→8, 8→4, …) is just a restore at the new count. What does
-// NOT carry over across a reshard is nothing persistent: sessions are
-// never saved, and caches start cold either way.
+// resharding (1→8, 8→4, …) is just a restore at the new count. Caches
+// start cold either way; sessions live in the journal, whose replay
+// (RecoverSessions) routes each user to its new shard.
 func RestoreBuilder(dir string) (build func(shard int) (*contextrank.System, error), saved int, err error) {
 	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {

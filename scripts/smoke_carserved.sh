@@ -2,8 +2,9 @@
 # End-to-end smoke test for cmd/carserved: boots the daemon with 4 shards,
 # exercises declare/assert/rules/sessions/rank/query/stats over HTTP,
 # SIGTERMs it, asserts a clean snapshot-on-shutdown, reboots from the
-# snapshot directory and checks the durable state survived. CI runs it;
-# it also works locally:
+# snapshot directory and checks the durable state — including journaled
+# sessions — survived. (Crash recovery via kill -9 has its own script,
+# smoke_crash_recovery.sh.) CI runs it; it also works locally:
 #
 #   go build -o /tmp/carserved ./cmd/carserved
 #   scripts/smoke_carserved.sh /tmp/carserved
@@ -111,15 +112,20 @@ RULES=$(jget "$BASE/v1/rules" '.rules | length')
 [ "$RULES" -eq 5 ] || fail "restored daemon has $RULES rules, want 5"
 ROWS=$(jsend POST "$BASE/v1/query" '{"sql":"SELECT id FROM c_TvProgram"}' '.rows | length')
 [ "$ROWS" -ge 1 ] || fail "restored query returned $ROWS rows"
-# Sessions are deliberately not persisted (context is sensed fresh, §5).
-CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/sessions/person0000")
-[ "$CODE" = "404" ] || fail "session survived the restart (status $CODE)"
-# The restored stack serves fresh sessions and ranks immediately.
+# Sessions are journaled (session WAL beside the snapshots), so they
+# survive the restart with their fingerprints intact.
+SESSIONS=$(jget "$BASE/v1/stats" '.sessions')
+[ "$SESSIONS" -eq 8 ] || fail "restored daemon has $SESSIONS sessions, want 8"
+FP=$(jget "$BASE/v1/sessions/person0000" '.fingerprint')
+[ -n "$FP" ] || fail "session for person0000 lost its fingerprint across restart"
+# The restored stack keeps serving session updates and ranks immediately.
 jsend PUT "$BASE/v1/sessions/person0000/context" \
   '{"measurements":[{"concept":"BenchCtx0","prob":1}]}' '.fingerprint' >/dev/null \
   || fail "session set after restore"
 N=$(jget "$BASE/v1/rank?user=person0000&target=TvProgram&limit=3" '.results | length')
 [ "$N" -ge 1 ] || fail "rank after restore returned $N results"
+JAPPENDS=$(jget "$BASE/v1/stats" '.journal.appends')
+[ "$JAPPENDS" -ge 1 ] || fail "journal stats missing after restore (appends=$JAPPENDS)"
 
 echo "=== reboot at a different shard count (online reshard) ==="
 kill -TERM "$PID"; wait "$PID" || fail "second shutdown not clean"
@@ -131,6 +137,9 @@ GOT_SHARDS=$(jget "$BASE/v1/stats" '.shards | length')
 [ "$GOT_SHARDS" -eq 2 ] || fail "resharded daemon reports $GOT_SHARDS shards, want 2"
 RULES=$(jget "$BASE/v1/rules" '.rules | length')
 [ "$RULES" -eq 5 ] || fail "resharded daemon has $RULES rules, want 5"
+# Journal replay routes sessions to their new owning shards on reshard.
+SESSIONS=$(jget "$BASE/v1/stats" '.sessions')
+[ "$SESSIONS" -eq 8 ] || fail "resharded daemon has $SESSIONS sessions, want 8"
 kill -TERM "$PID"; wait "$PID" || fail "final shutdown not clean"
 PID=
 

@@ -1,0 +1,161 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test for cmd/carserved: the CI proof that the
+# session journal makes the daemon crash-safe. It boots 4 shards with
+# -snapdir, applies per-user session contexts over HTTP, records every
+# user's context fingerprint and full rank scores, then kill -9s the
+# daemon mid-traffic (a rank loop is running; no SIGTERM, no snapshot-on-
+# shutdown) and reboots. Recovery must be bit-identical: same session
+# count, same per-user fingerprints, same rank scores. The whole check
+# then repeats across a second kill -9 with a *different* -shards count,
+# proving journal replay reroutes sessions on reshard.
+#
+#   go build -o /tmp/carserved ./cmd/carserved
+#   scripts/smoke_crash_recovery.sh /tmp/carserved
+#
+# Requires: curl, jq.
+set -euo pipefail
+
+BIN=${1:?usage: smoke_crash_recovery.sh <carserved-binary> [port]}
+PORT=${2:-18373}
+BASE="http://127.0.0.1:${PORT}"
+SNAP=$(mktemp -d)
+LOG=$(mktemp)
+STATE=$(mktemp -d)
+NUSERS=10
+PID=
+TRAFFIC_PID=
+
+cleanup() {
+  stop_traffic
+  if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+    kill -9 "$PID" 2>/dev/null || true
+  fi
+  echo "--- daemon log ---"
+  cat "$LOG"
+  rm -rf "$SNAP" "$LOG" "$STATE"
+}
+trap cleanup EXIT
+
+fail() { echo "CRASH-RECOVERY FAIL: $*" >&2; exit 1; }
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  fail "daemon did not become healthy on $BASE"
+}
+
+jget() { curl -fsS "$1" | jq -er "$2"; }
+jsend() { curl -fsS -X "$1" "$2" -d "$3" | jq -er "$4"; }
+
+boot() { # boot SHARDS
+  "$BIN" -addr "127.0.0.1:${PORT}" -shards "$1" -preload small -rules 4 -snapdir "$SNAP" >>"$LOG" 2>&1 &
+  PID=$!
+  wait_healthy
+}
+
+start_traffic() {
+  # Background rank traffic so the kill lands mid-flight, as in
+  # production — ranks are read-only, so they cannot change what
+  # recovery must reproduce.
+  (
+    i=0
+    while :; do
+      u=$(printf 'user%03d' $((i % NUSERS)))
+      curl -fsS "$BASE/v1/rank?user=$u&target=TvProgram&limit=5" >/dev/null 2>&1 || true
+      i=$((i + 1))
+    done
+  ) &
+  TRAFFIC_PID=$!
+}
+
+stop_traffic() {
+  if [ -n "$TRAFFIC_PID" ] && kill -0 "$TRAFFIC_PID" 2>/dev/null; then
+    kill "$TRAFFIC_PID" 2>/dev/null || true
+    wait "$TRAFFIC_PID" 2>/dev/null || true
+  fi
+  TRAFFIC_PID=
+}
+
+# snapshot_state FILE-PREFIX — record sessions + per-user fingerprints and
+# full rank score arrays for later bit-identity comparison.
+snapshot_state() {
+  jget "$BASE/v1/stats" '.sessions' >"$STATE/$1.sessions"
+  for i in $(seq 0 $((NUSERS - 1))); do
+    u=$(printf 'user%03d' "$i")
+    jget "$BASE/v1/sessions/$u" '.fingerprint' >"$STATE/$1.fp.$u"
+    jget "$BASE/v1/rank?user=$u&target=TvProgram&limit=0" '.results' >"$STATE/$1.scores.$u"
+  done
+}
+
+# assert_state PRE POST — every recorded value must be bit-identical.
+assert_state() {
+  cmp -s "$STATE/$1.sessions" "$STATE/$2.sessions" \
+    || fail "session count changed: $(cat "$STATE/$1.sessions") -> $(cat "$STATE/$2.sessions")"
+  for i in $(seq 0 $((NUSERS - 1))); do
+    u=$(printf 'user%03d' "$i")
+    cmp -s "$STATE/$1.fp.$u" "$STATE/$2.fp.$u" \
+      || fail "fingerprint for $u changed: $(cat "$STATE/$1.fp.$u") -> $(cat "$STATE/$2.fp.$u")"
+    cmp -s "$STATE/$1.scores.$u" "$STATE/$2.scores.$u" \
+      || fail "rank scores for $u changed across crash recovery"
+  done
+}
+
+echo "=== boot with -shards 4 -snapdir (saves a boot snapshot, arms the journal) ==="
+boot 4
+grep -q "session journal" "$LOG" || fail "no session-journal boot log line"
+[ -f "$SNAP/manifest.json" ] || fail "no boot snapshot written"
+[ -f "$SNAP/journal.manifest.json" ] || fail "no journal manifest written"
+
+echo "=== establish journaled sessions (plus one churned + dropped user) ==="
+for i in $(seq 0 $((NUSERS - 1))); do
+  u=$(printf 'user%03d' "$i")
+  p=$(awk -v i="$i" 'BEGIN{printf "%.2f", 0.5 + (i % 5) / 10.0}')
+  jsend PUT "$BASE/v1/sessions/$u/context" \
+    "{\"measurements\":[{\"concept\":\"BenchCtx0\",\"prob\":$p},{\"concept\":\"BenchCtx1\",\"prob\":0.7}]}" \
+    '.fingerprint' >/dev/null || fail "session set for $u"
+done
+# ghost leaves before the crash; replay must not resurrect it.
+jsend PUT "$BASE/v1/sessions/ghost/context" \
+  '{"measurements":[{"concept":"BenchCtx0","prob":0.9}]}' '.fingerprint' >/dev/null || fail "ghost set"
+curl -fsS -X DELETE "$BASE/v1/sessions/ghost" >/dev/null || fail "ghost drop"
+snapshot_state pre
+
+echo "=== kill -9 mid-traffic (no snapshot, no clean shutdown) ==="
+start_traffic
+sleep 0.5
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=
+stop_traffic
+
+echo "=== reboot at the same shard count: recovery must be bit-identical ==="
+boot 4
+grep -Eq "session journal: replayed [0-9]+ records" "$LOG" || fail "no replay log line after crash"
+snapshot_state post4
+assert_state pre post4
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/sessions/ghost")
+[ "$CODE" = "404" ] || fail "dropped session resurrected by replay (status $CODE)"
+JLIVE=$(jget "$BASE/v1/stats" '.journal.live_records')
+[ "$JLIVE" -eq "$NUSERS" ] || fail "journal live records = $JLIVE, want $NUSERS"
+
+echo "=== kill -9 again, reboot at -shards 2: replay reroutes sessions ==="
+start_traffic
+sleep 0.3
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=
+stop_traffic
+boot 2
+GOT_SHARDS=$(jget "$BASE/v1/stats" '.shards | length')
+[ "$GOT_SHARDS" -eq 2 ] || fail "resharded daemon reports $GOT_SHARDS shards, want 2"
+snapshot_state post2
+assert_state pre post2
+
+echo "=== clean shutdown still works after all that ==="
+kill -TERM "$PID"
+wait "$PID" || fail "final shutdown not clean"
+PID=
+
+echo "CRASH-RECOVERY PASS"
