@@ -45,6 +45,7 @@ type loadgenConfig struct {
 type loadgenResult struct {
 	Shards    int
 	Ranks     int64
+	Shed      int64 // 429s — reported separately, never folded into errors
 	Elapsed   time.Duration
 	ReqPerSec float64
 	Stats     serve.Stats
@@ -124,6 +125,7 @@ func runServeLoadgen(cfg loadgenConfig) (loadgenResult, error) {
 
 	var (
 		totalRanks atomic.Int64
+		shedCount  atomic.Int64
 		errCount   atomic.Int64
 		firstErr   atomic.Value
 	)
@@ -189,8 +191,16 @@ func runServeLoadgen(cfg loadgenConfig) (loadgenResult, error) {
 					record(&errCount, &firstErr, err)
 					return false
 				}
+				retryAfter := retryAfterDelay(resp, 50*time.Millisecond)
 				io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
 				resp.Body.Close()
+				if resp.StatusCode == http.StatusTooManyRequests {
+					// Shed, not broken: count it separately, honor the
+					// retry hint, and let the next churn point try again.
+					shedCount.Add(1)
+					time.Sleep(retryAfter)
+					return true
+				}
 				if resp.StatusCode != http.StatusOK {
 					record(&errCount, &firstErr, fmt.Errorf("session update: %s", resp.Status))
 					return false
@@ -207,6 +217,14 @@ func runServeLoadgen(cfg loadgenConfig) (loadgenResult, error) {
 				if err != nil {
 					record(&errCount, &firstErr, err)
 					return
+				}
+				if resp.StatusCode == http.StatusTooManyRequests {
+					retryAfter := retryAfterDelay(resp, 50*time.Millisecond)
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+					resp.Body.Close()
+					shedCount.Add(1)
+					time.Sleep(retryAfter)
+					continue
 				}
 				if resp.StatusCode != http.StatusOK {
 					resp.Body.Close()
@@ -246,6 +264,7 @@ func runServeLoadgen(cfg loadgenConfig) (loadgenResult, error) {
 	out := loadgenResult{
 		Shards:    shards,
 		Ranks:     ranks,
+		Shed:      shedCount.Load(),
 		Elapsed:   elapsed,
 		ReqPerSec: float64(ranks) / elapsed.Seconds(),
 		Stats:     st,
@@ -253,6 +272,9 @@ func runServeLoadgen(cfg loadgenConfig) (loadgenResult, error) {
 	if !cfg.Quiet {
 		fmt.Printf("ranks: %d in %.2fs → %.0f req/s across %d clients\n",
 			ranks, elapsed.Seconds(), out.ReqPerSec, cfg.Clients)
+		if out.Shed > 0 {
+			fmt.Printf("shed: %d requests answered 429 (admission control; not counted as errors)\n", out.Shed)
+		}
 		fmt.Printf("cache: %s\n", st.Cache)
 		fmt.Printf("latency: mean %.0fµs p50 %.0fµs p95 %.0fµs p99 %.0fµs (server-side; %d observations, percentiles over last %d)\n",
 			st.Latency.MeanMicros, st.Latency.P50Micros, st.Latency.P95Micros, st.Latency.P99Micros,
@@ -444,6 +466,7 @@ func runRankBatchLoadgen(cfg loadgenConfig, sizes []int) error {
 	for _, bsz := range sizes {
 		var (
 			batches  atomic.Int64
+			sheds    atomic.Int64
 			errCount atomic.Int64
 			firstErr atomic.Value
 		)
@@ -464,8 +487,14 @@ func runRankBatchLoadgen(cfg loadgenConfig, sizes []int) error {
 						record(&errCount, &firstErr, err)
 						return
 					}
+					retryAfter := retryAfterDelay(resp, 50*time.Millisecond)
 					io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
 					resp.Body.Close()
+					if resp.StatusCode == http.StatusTooManyRequests {
+						sheds.Add(1)
+						time.Sleep(retryAfter)
+						continue
+					}
 					if resp.StatusCode != http.StatusOK {
 						record(&errCount, &firstErr, fmt.Errorf("session update: %s", resp.Status))
 						return
@@ -479,6 +508,14 @@ func runRankBatchLoadgen(cfg loadgenConfig, sizes []int) error {
 					if err != nil {
 						record(&errCount, &firstErr, err)
 						return
+					}
+					if resp.StatusCode == http.StatusTooManyRequests {
+						retryAfter := retryAfterDelay(resp, 50*time.Millisecond)
+						io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+						resp.Body.Close()
+						sheds.Add(1)
+						time.Sleep(retryAfter)
+						continue
 					}
 					var br struct {
 						Items []struct {
@@ -522,6 +559,9 @@ func runRankBatchLoadgen(cfg loadgenConfig, sizes []int) error {
 		}
 		fmt.Printf("%-7d %10d %10d %12.0f %14.1f %8.2fx\n",
 			bsz, nb, items, itemsPerSec, usPerItem, itemsPerSec/base1)
+		if n := sheds.Load(); n > 0 {
+			fmt.Printf("        (%d requests shed with 429 by admission control; not errors)\n", n)
+		}
 	}
 	fmt.Printf("speedup = ranked items/s relative to batch=%d (each batch pays one session apply + one plan compile)\n", sizes[0])
 	return nil

@@ -29,6 +29,14 @@
 // request invalidates the client's compiled rank plan, so a batch of B
 // items amortizes one plan compile where B single ranks would pay B.
 //
+// overload: the admission-control demonstration — drive offered rank load
+// far past the configured limits (-ratelimit/-maxinflight/-maxqueue for an
+// in-process daemon, or -target for a running carserved) and print goodput,
+// shed rate and admitted-request p50/p99 for an overload phase followed by
+// a paced recovery phase, plus machine-readable OVERLOAD lines consumed by
+// scripts/smoke_overload.sh. Excess load must come back as fast 429s with
+// Retry-After while admitted requests stay at in-SLO latency.
+//
 // journal: the session-durability overhead experiment — the same mixed
 // apply+rank HTTP load twice, without and with the per-shard session WAL
 // (internal/serve/journal, fsync per group commit), printing the req/s
@@ -57,7 +65,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, e1, e2, e3, a1, a2, a3, a4, serve, rankbatch, journal (load generators; not in 'all')")
+		exp      = flag.String("exp", "all", "experiment to run: all, e1, e2, e3, a1, a2, a3, a4, serve, rankbatch, journal, overload (load generators; not in 'all')")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-point budget for sweeps (the paper aborted at 30min)")
 		maxRules = flag.Int("maxrules", 8, "largest rule count in the scalability sweeps")
 		small    = flag.Bool("small", false, "use the scaled-down dataset instead of the paper's ~11k tuples")
@@ -71,6 +79,13 @@ func main() {
 		cachesize   = flag.Int("cachesize", 0, "serve: rank cache capacity (0 = default, -1 = disabled)")
 		ctxprob     = flag.Float64("ctxprob", 1, "serve: session measurement probability; < 1 churns basic events through the space on every context update")
 		batchSizes  = flag.String("batchsizes", "1,2,4,8,16", "rankbatch: comma-separated /v1/rank/batch item counts for the amortization curve")
+
+		target      = flag.String("target", "", "overload: base URL of a running carserved (empty boots an in-process daemon with the limits below)")
+		users       = flag.Int("users", 8, "overload: distinct user IDs the clients share (fewer users = harder per-user rate pressure)")
+		lowclients  = flag.Int("lowclients", 2, "overload: paced clients in the recovery phase")
+		ratelimit   = flag.Float64("ratelimit", 50, "overload: per-user req/s budget for the in-process daemon")
+		maxinflight = flag.Int("maxinflight", 32, "overload: in-flight request cap for the in-process daemon")
+		maxqueue    = flag.Int("maxqueue", 64, "overload: waiting-request cap for the in-process daemon")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit (pprof format)")
@@ -242,6 +257,24 @@ func main() {
 			Churn:     *churn,
 			CacheSize: *cachesize,
 			CtxProb:   *ctxprob,
+		}))
+	}
+
+	if strings.EqualFold(*exp, "overload") {
+		ran = true
+		section("OVERLOAD — admission control: goodput, shed rate and latency under excess offered load")
+		exitOn(runOverloadLoadgen(overloadConfig{
+			Target:      *target,
+			Spec:        spec,
+			Rules:       *maxRules,
+			Clients:     *clients,
+			LowClients:  *lowclients,
+			Duration:    *benchdur,
+			Users:       *users,
+			CacheSize:   *cachesize,
+			RateLimit:   *ratelimit,
+			MaxInFlight: *maxinflight,
+			MaxQueue:    *maxqueue,
 		}))
 	}
 

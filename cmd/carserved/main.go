@@ -8,6 +8,17 @@
 //
 //	carserved [-addr :8372] [-shards 4] [-cache 1024] [-snapdir dir]
 //	          [-preload none|small|paper] [-rules 4]
+//	          [-metrics] [-ratelimit R] [-burst B]
+//	          [-maxinflight N] [-maxqueue Q] [-accesslog path|-]
+//
+// Observability and admission control (serve.NewHandlerWith): -metrics
+// serves Prometheus text exposition at GET /metrics (per-shard QPS, rank
+// latency histograms, cache hit rates, journal group-commit sizes, shed
+// counts); -accesslog emits one JSON line per request with a request ID
+// (X-Request-ID honored and echoed); -ratelimit/-burst bound each user's
+// request rate and -maxinflight/-maxqueue bound global concurrency —
+// excess load is shed with 429 + Retry-After instead of queueing without
+// bound.
 //
 // With -shards N every per-user operation (session applies, ranks) is
 // served by the user's shard alone — one user's context apply never
@@ -75,6 +86,7 @@ import (
 	contextrank "repro"
 	"repro/internal/serve"
 	"repro/internal/serve/journal"
+	"repro/internal/serve/metrics"
 	"repro/internal/serve/shard"
 	"repro/internal/workload"
 )
@@ -87,6 +99,13 @@ func main() {
 		snapdir = flag.String("snapdir", "", "durability directory: per-shard snapshots (restored on boot, saved at first boot and on shutdown) plus the session write-ahead journal (replayed on boot) — makes the daemon crash-safe")
 		preload = flag.String("preload", "none", "preload dataset: none, small or paper (ignored when restoring from -snapdir)")
 		rules   = flag.Int("rules", 4, "preference rules to register with -preload")
+
+		metricsOn   = flag.Bool("metrics", true, "serve Prometheus text exposition at GET /metrics")
+		ratelimit   = flag.Float64("ratelimit", 0, "per-user sustained request budget in req/s on rank and session endpoints (0 disables)")
+		burst       = flag.Float64("burst", 0, "per-user token-bucket depth (0 means max(1, -ratelimit))")
+		maxinflight = flag.Int("maxinflight", 0, "concurrently executing requests before new ones queue (0 disables the gate)")
+		maxqueue    = flag.Int("maxqueue", 0, "requests allowed to wait for an in-flight slot; beyond it requests are shed with 429 + Retry-After")
+		accesslog   = flag.String("accesslog", "", "JSON-lines request log destination: a file path, or '-' for stderr (empty disables)")
 	)
 	flag.Parse()
 
@@ -129,14 +148,40 @@ func main() {
 		}
 	}
 
+	hopts := serve.HandlerOptions{
+		Admission: serve.NewAdmission(serve.AdmissionOptions{
+			MaxInFlight:  *maxinflight,
+			MaxQueue:     *maxqueue,
+			PerUserRate:  *ratelimit,
+			PerUserBurst: *burst,
+		}),
+	}
+	if *metricsOn {
+		hopts.Metrics = metrics.NewRegistry()
+	}
+	var logFile *os.File
+	switch *accesslog {
+	case "":
+	case "-":
+		hopts.AccessLog = os.Stderr
+	default:
+		logFile, err = os.OpenFile(*accesslog, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("carserved: opening access log: %v", err)
+		}
+		defer logFile.Close()
+		hopts.AccessLog = logFile
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.NewHandlerFor(coord),
+		Handler:           serve.NewHandlerWith(coord, hopts),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
 	go func() {
-		log.Printf("carserved: listening on %s (shards=%d %s cache=%d)", *addr, *shards, source, *cache)
+		log.Printf("carserved: listening on %s (shards=%d %s cache=%d metrics=%v ratelimit=%g maxinflight=%d maxqueue=%d)",
+			*addr, *shards, source, *cache, *metricsOn, *ratelimit, *maxinflight, *maxqueue)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("carserved: %v", err)
 		}

@@ -4,9 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"strconv"
+	"time"
 
+	"repro/internal/serve/metrics"
 	"repro/internal/sql"
 	"repro/internal/storage"
 
@@ -38,8 +42,9 @@ const maxBodyBytes = 1 << 20
 //	GET    /v1/stats                    server statistics
 //	GET    /healthz                     liveness
 type Handler struct {
-	srv Backend
-	mux *http.ServeMux
+	srv       Backend
+	mux       *http.ServeMux
+	admission *Admission // nil = no per-user rate limiting
 }
 
 // NewHandler builds the HTTP API over a single server.
@@ -73,10 +78,57 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.mux.ServeHTTP(w, r)
 }
 
+// HandlerOptions configures the production middleware around the HTTP
+// API. The zero value is equivalent to NewHandlerFor plus request IDs.
+type HandlerOptions struct {
+	// Admission applies overload control: the global concurrency gate +
+	// bounded queue around every /v1 endpoint, and per-user token-bucket
+	// rate limiting inside the per-user endpoints. nil disables both.
+	Admission *Admission
+	// AccessLog receives one JSON line per request (see accessLine). nil
+	// disables request logging.
+	AccessLog io.Writer
+	// Metrics, when set, is populated with the carserve_* series (backend
+	// stats, admission counters, HTTP surface) and served at GET /metrics.
+	Metrics *metrics.Registry
+}
+
+// NewHandlerWith builds the HTTP API wrapped in the observability and
+// admission middleware: request-ID assignment and echo, structured
+// request logging, Prometheus metrics at /metrics, and load shedding.
+func NewHandlerWith(srv Backend, opts HandlerOptions) http.Handler {
+	h := NewHandlerFor(srv)
+	h.admission = opts.Admission
+	var hm *httpMetrics
+	if opts.Metrics != nil {
+		RegisterBackendMetrics(opts.Metrics, srv)
+		RegisterAdmissionMetrics(opts.Metrics, opts.Admission)
+		hm = newHTTPMetrics(opts.Metrics)
+		h.mux.Handle("GET /metrics", opts.Metrics.Handler())
+	}
+	return observe(admissionGate(h, opts.Admission), opts.AccessLog, hm)
+}
+
+// admitUser charges the request against user's token bucket, writing the
+// 429 (with Retry-After) itself on rejection. Nil-admission servers admit
+// everything.
+func (h *Handler) admitUser(w http.ResponseWriter, r *http.Request, user string) bool {
+	ok, retry := h.admission.AllowUser(user)
+	if !ok {
+		annotate(r, user, -1)
+		writeShed(w, r, retry, fmt.Errorf("serve: user %q over rate limit", user))
+		return false
+	}
+	return true
+}
+
 // --- request/response shapes ----------------------------------------------
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// RequestID ties the error to its access-log line and X-Request-ID
+	// header; empty when the handler runs without the middleware.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 type declareRequest struct {
@@ -197,7 +249,7 @@ func (h *Handler) declare(w http.ResponseWriter, r *http.Request) {
 	}
 	epoch, err := h.srv.Declare(req.Concepts, req.Roles, subs)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int64{"epoch": epoch})
@@ -218,7 +270,7 @@ func (h *Handler) assert(w http.ResponseWriter, r *http.Request) {
 	}
 	epoch, err := h.srv.Assert(concepts, roles)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int64{"epoch": epoch})
@@ -244,12 +296,12 @@ func (h *Handler) addRules(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Rules) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("serve: no rules in request"))
+		writeError(w, r, http.StatusBadRequest, errors.New("serve: no rules in request"))
 		return
 	}
 	added, epoch, err := h.srv.AddRules(req.Rules)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"added": added, "epoch": epoch})
@@ -258,13 +310,18 @@ func (h *Handler) addRules(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) removeRule(w http.ResponseWriter, r *http.Request) {
 	epoch, err := h.srv.RemoveRule(r.PathValue("name"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, r, http.StatusNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int64{"epoch": epoch})
 }
 
 func (h *Handler) setSession(w http.ResponseWriter, r *http.Request) {
+	user := r.PathValue("user")
+	if !h.admitUser(w, r, user) {
+		return
+	}
+	annotate(r, user, -1)
 	var req sessionRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -279,9 +336,9 @@ func (h *Handler) setSession(w http.ResponseWriter, r *http.Request) {
 			Source:     m.Source,
 		}
 	}
-	fp, err := h.srv.SetSession(r.PathValue("user"), ms)
+	fp, err := h.srv.SetSession(user, ms)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"fingerprint": fp})
@@ -289,9 +346,10 @@ func (h *Handler) setSession(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) getSession(w http.ResponseWriter, r *http.Request) {
 	user := r.PathValue("user")
+	annotate(r, user, -1)
 	ms, fp, ok := h.srv.SessionInfo(user)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no session for %q", user))
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("serve: no session for %q", user))
 		return
 	}
 	out := make([]measurementJSON, len(ms))
@@ -313,7 +371,7 @@ func (h *Handler) getSession(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) dropSession(w http.ResponseWriter, r *http.Request) {
 	if err := h.srv.DropSession(r.PathValue("user")); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "dropped"})
@@ -324,7 +382,7 @@ func (h *Handler) rankPost(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	h.rank(w, req)
+	h.rank(w, r, req)
 }
 
 func (h *Handler) rankGet(w http.ResponseWriter, r *http.Request) {
@@ -338,7 +396,7 @@ func (h *Handler) rankGet(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("threshold"); v != "" {
 		t, err := strconv.ParseFloat(v, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad threshold %q", v))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("serve: bad threshold %q", v))
 			return
 		}
 		req.Threshold = t
@@ -346,17 +404,20 @@ func (h *Handler) rankGet(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad limit %q", v))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("serve: bad limit %q", v))
 			return
 		}
 		req.Limit = n
 	}
-	h.rank(w, req)
+	h.rank(w, r, req)
 }
 
-func (h *Handler) rank(w http.ResponseWriter, req rankRequest) {
+func (h *Handler) rank(w http.ResponseWriter, r *http.Request, req rankRequest) {
 	if req.User == "" || req.Target == "" {
-		writeError(w, http.StatusBadRequest, errors.New("serve: rank needs user and target"))
+		writeError(w, r, http.StatusBadRequest, errors.New("serve: rank needs user and target"))
+		return
+	}
+	if !h.admitUser(w, r, req.User) {
 		return
 	}
 	opts := contextrank.RankOptions{
@@ -366,8 +427,9 @@ func (h *Handler) rank(w http.ResponseWriter, req rankRequest) {
 		Explain:   req.Explain,
 	}
 	results, meta, err := h.srv.Rank(req.User, req.Target, opts)
+	annotate(r, req.User, meta.Shard)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	out := rankResponse{
@@ -402,7 +464,10 @@ func (h *Handler) rankBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.User == "" || len(req.Items) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("serve: batch rank needs a user and at least one item"))
+		writeError(w, r, http.StatusBadRequest, errors.New("serve: batch rank needs a user and at least one item"))
+		return
+	}
+	if !h.admitUser(w, r, req.User) {
 		return
 	}
 	items := make([]RankItem, len(req.Items))
@@ -416,8 +481,9 @@ func (h *Handler) rankBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	results, meta, err := h.srv.RankBatch(req.User, contextrank.Algorithm(req.Algorithm), items)
+	annotate(r, req.User, meta.Shard)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	out := rankBatchResponse{
@@ -445,7 +511,7 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := h.srv.Query(req.SQL)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sqlResultJSON(res))
@@ -458,7 +524,7 @@ func (h *Handler) exec(w http.ResponseWriter, r *http.Request) {
 	}
 	res, epoch, err := h.srv.Exec(req.SQL)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	out := sqlResultJSON(res)
@@ -477,7 +543,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
 		return false
 	}
 	return true
@@ -489,8 +555,23 @@ func writeJSON(w http.ResponseWriter, status int, payload any) {
 	_ = json.NewEncoder(w).Encode(payload)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	resp := errorResponse{Error: err.Error()}
+	if info := requestInfo(r); info != nil {
+		resp.RequestID = info.id
+	}
+	writeJSON(w, status, resp)
+}
+
+// writeShed writes the 429 shed response with its Retry-After hint
+// (whole seconds, rounded up, at least 1 — the header's granularity).
+func writeShed(w http.ResponseWriter, r *http.Request, retry time.Duration, err error) {
+	secs := int(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, r, http.StatusTooManyRequests, err)
 }
 
 func sqlResultJSON(res *sql.Result) sqlResponse {

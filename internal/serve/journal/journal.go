@@ -164,6 +164,17 @@ type Options struct {
 // records a rewrite would save less than it costs.
 const DefaultCompactMinRecords = 512
 
+// BatchSizeBuckets are the group-commit size histogram bounds (records
+// per fsync batch, le-inclusive). The distribution is the direct read on
+// group-commit effectiveness: all mass at 1 means every append pays its
+// own fsync; mass in the higher buckets means concurrent session applies
+// are sharing syncs as designed.
+var batchSizeBounds = [...]int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// BatchSizeBuckets is the bounds slice callers (the metrics exporter)
+// read; it aliases the fixed backing array.
+var BatchSizeBuckets = batchSizeBounds[:]
+
 // Stats is a journal's observable state, shaped for /v1/stats.
 type Stats struct {
 	// Appends counts acknowledged records since open.
@@ -186,12 +197,17 @@ type Stats struct {
 	TotalRecords int `json:"total_records"`
 	// Bytes is the current file size.
 	Bytes int64 `json:"bytes"`
+	// BatchSizes counts group commits per BatchSizeBuckets bucket (raw,
+	// not cumulative; the last slot counts batches above the final
+	// bound). sum(BatchSizes) == Batches and the record-weighted total is
+	// Appends.
+	BatchSizes []int64 `json:"batch_sizes,omitempty"`
 }
 
 // Merge folds another journal's stats into a combined view — the shard
 // coordinator aggregates per-shard journals with it.
 func (s Stats) Merge(o Stats) Stats {
-	return Stats{
+	merged := Stats{
 		Appends:         s.Appends + o.Appends,
 		Batches:         s.Batches + o.Batches,
 		Fsyncs:          s.Fsyncs + o.Fsyncs,
@@ -201,6 +217,18 @@ func (s Stats) Merge(o Stats) Stats {
 		TotalRecords:    s.TotalRecords + o.TotalRecords,
 		Bytes:           s.Bytes + o.Bytes,
 	}
+	switch {
+	case len(s.BatchSizes) == 0:
+		merged.BatchSizes = append([]int64(nil), o.BatchSizes...)
+	case len(o.BatchSizes) == 0:
+		merged.BatchSizes = append([]int64(nil), s.BatchSizes...)
+	default:
+		merged.BatchSizes = append([]int64(nil), s.BatchSizes...)
+		for i, v := range o.BatchSizes {
+			merged.BatchSizes[i] += v
+		}
+	}
+	return merged
 }
 
 // liveEntry is the latest Set frame for one user, kept for compaction.
@@ -258,6 +286,10 @@ type Journal struct {
 	liveCount       atomic.Int64
 	totalCount      atomic.Int64
 	bytes           atomic.Int64
+
+	// batchHist counts group commits by record count, bucketed per
+	// BatchSizeBuckets (last slot = overflow).
+	batchHist [len(batchSizeBounds) + 1]atomic.Int64
 }
 
 // Open opens (creating if absent) the journal at path for appending. An
@@ -362,7 +394,7 @@ func (j *Journal) Path() string { return j.path }
 
 // Stats snapshots the journal counters lock-free.
 func (j *Journal) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Appends:         j.appends.Load(),
 		Batches:         j.batches.Load(),
 		Fsyncs:          j.fsyncs.Load(),
@@ -372,6 +404,11 @@ func (j *Journal) Stats() Stats {
 		TotalRecords:    int(j.totalCount.Load()),
 		Bytes:           j.bytes.Load(),
 	}
+	st.BatchSizes = make([]int64, len(j.batchHist))
+	for i := range j.batchHist {
+		st.BatchSizes[i] = j.batchHist[i].Load()
+	}
+	return st
 }
 
 // SetNoSync flips the per-batch fsync at runtime. Recovery replay turns
@@ -544,6 +581,10 @@ func (j *Journal) writeBatch(batch []*pending) error {
 	if records > 0 {
 		j.appends.Add(int64(records))
 		j.batches.Add(1)
+		i := sort.Search(len(BatchSizeBuckets), func(i int) bool {
+			return BatchSizeBuckets[i] >= int64(records)
+		})
+		j.batchHist[i].Add(1)
 	}
 	j.publishCounters()
 	return nil

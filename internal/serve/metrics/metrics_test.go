@@ -1,0 +1,266 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden locks the text exposition format: family headers,
+// label rendering and escaping, histogram cumulative buckets, collector
+// output, deterministic ordering.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("test_requests_total", "Requests served.")
+	c.Add(3)
+
+	v := r.CounterVec("test_sheds_total", "Requests shed.", "reason")
+	v.With("queue_full").Add(2)
+	v.With("rate_limit").Inc()
+
+	g := r.Gauge("test_queue_depth", "Waiting requests.")
+	g.Set(4)
+	g.Add(-1.5)
+
+	r.GaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	r.Collect(func(w *Writer) {
+		w.Family("test_shard_requests_total", "counter", "Per-shard requests.")
+		w.Sample("test_shard_requests_total", 7, "shard", "0")
+		w.Sample("test_shard_requests_total", 9, "shard", "1")
+		w.Family("test_batch_records", "histogram", "Batch sizes.")
+		w.Histogram("test_batch_records", []float64{1, 2}, []int64{5, 3, 1}, 18, "shard", "0")
+	})
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_requests_total Requests served.
+# TYPE test_requests_total counter
+test_requests_total 3
+# HELP test_sheds_total Requests shed.
+# TYPE test_sheds_total counter
+test_sheds_total{reason="queue_full"} 2
+test_sheds_total{reason="rate_limit"} 1
+# HELP test_queue_depth Waiting requests.
+# TYPE test_queue_depth gauge
+test_queue_depth 2.5
+# HELP test_uptime_seconds Uptime.
+# TYPE test_uptime_seconds gauge
+test_uptime_seconds 12.5
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.01"} 1
+test_latency_seconds_bucket{le="0.1"} 3
+test_latency_seconds_bucket{le="1"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 5.105
+test_latency_seconds_count 4
+# HELP test_shard_requests_total Per-shard requests.
+# TYPE test_shard_requests_total counter
+test_shard_requests_total{shard="0"} 7
+test_shard_requests_total{shard="1"} 9
+# HELP test_batch_records Batch sizes.
+# TYPE test_batch_records histogram
+test_batch_records_bucket{shard="0",le="1"} 5
+test_batch_records_bucket{shard="0",le="2"} 8
+test_batch_records_bucket{shard="0",le="+Inf"} 9
+test_batch_records_sum{shard="0"} 18
+test_batch_records_count{shard="0"} 9
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionLineFormat asserts every rendered line is either a comment
+// or matches the sample-line grammar — the same check the overload smoke
+// applies to a live scrape.
+func TestExpositionLineFormat(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("fmt_total", "With tricky label values.", "path").
+		With(`a"b\c` + "\nd").Inc()
+	r.Gauge("fmt_negative", "Negative gauge.").Set(-0.25)
+	h := r.Histogram("fmt_hist", "H.", []float64{0.5})
+	h.Observe(0.1)
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		// name{labels} value — labels optional, value a float or ±Inf.
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed line %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		if !strings.HasPrefix(name, "fmt_") {
+			t.Fatalf("unexpected series %q", line)
+		}
+		if val != "+Inf" && val != "-Inf" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Fatalf("bad value %q in line %q: %v", val, line, err)
+			}
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 && !strings.HasSuffix(name, "}") {
+			t.Fatalf("unterminated label block in %q", line)
+		}
+	}
+	// The escaped label value must round-trip the escapes.
+	if !strings.Contains(b.String(), `path="a\"b\\c\nd"`) {
+		t.Errorf("label escaping broken:\n%s", b.String())
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le-inclusive bucketing: a value
+// equal to an upper bound lands in that bucket, just above it in the next,
+// and everything above the last bound in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bounds_seconds", "B.", []float64{1, 2, 4})
+
+	h.Observe(1)             // le="1"
+	h.Observe(1.0000001)     // le="2"
+	h.Observe(2)             // le="2"
+	h.Observe(4)             // le="4"
+	h.Observe(4.5)           // +Inf
+	h.Observe(math.MaxInt32) // +Inf
+	h.Observe(0)             // le="1"
+	h.Observe(-1)            // le="1" (below the first bound still counts)
+
+	want := []uint64{3, 2, 1, 2} // raw per-bucket: le1, le2, le4, +Inf
+	for i, n := range want {
+		if got := h.buckets[i].Load(); got != n {
+			t.Errorf("bucket %d = %d, want %d", i, got, n)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`bounds_seconds_bucket{le="1"} 3`,
+		`bounds_seconds_bucket{le="2"} 5`,
+		`bounds_seconds_bucket{le="4"} 6`,
+		`bounds_seconds_bucket{le="+Inf"} 8`,
+		`bounds_seconds_count 8`,
+	} {
+		if !strings.Contains(b.String(), line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, b.String())
+		}
+	}
+}
+
+// TestConcurrentIncrements hammers every instrument type from many
+// goroutines while scrapes run concurrently — run under -race in CI; the
+// final counts must be exact (atomics lose nothing).
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "C.")
+	v := r.CounterVec("conc_labeled_total", "CL.", "k")
+	g := r.Gauge("conc_gauge", "G.")
+	h := r.Histogram("conc_hist", "H.", []float64{0.5})
+
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := []string{"a", "b"}[w%2]
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				v.With(key).Inc()
+				g.Add(1)
+				h.Observe(float64(i%2) * 0.75)
+			}
+		}(w)
+	}
+	// Concurrent scrapes must not race observation.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if _, err := r.WriteTo(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	const total = workers * perWorker
+	if c.Value() != total {
+		t.Errorf("counter = %d, want %d", c.Value(), total)
+	}
+	if n := v.With("a").Value() + v.With("b").Value(); n != total {
+		t.Errorf("vec sum = %d, want %d", n, total)
+	}
+	if g.Value() != total {
+		t.Errorf("gauge = %v, want %d", g.Value(), total)
+	}
+	if h.Count() != total {
+		t.Errorf("histogram count = %d, want %d", h.Count(), total)
+	}
+}
+
+// TestHandler serves the exposition over HTTP with the Prometheus content
+// type.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("handler_total", "H.").Add(1)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("content type = %q, want %q", ct, ContentType)
+	}
+	if !strings.Contains(rec.Body.String(), "handler_total 1\n") {
+		t.Errorf("body missing series:\n%s", rec.Body.String())
+	}
+}
+
+// TestRegistrationPanics pins the startup-time failure mode for invalid
+// and duplicate registrations.
+func TestRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "x")
+	for name, fn := range map[string]func(){
+		"duplicate name":    func() { r.Counter("ok_total", "again") },
+		"bad metric name":   func() { r.Counter("bad-name", "x") },
+		"bad label name":    func() { r.CounterVec("v_total", "x", "bad-label") },
+		"reserved le label": func() { r.HistogramVec("h_seconds", "x", []float64{1}, "le") },
+		"empty buckets":     func() { r.Histogram("e_seconds", "x", nil) },
+		"descending":        func() { r.Histogram("d_seconds", "x", []float64{2, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

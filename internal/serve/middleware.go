@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve/metrics"
+)
+
+// reqInfo travels with a request through the middleware chain: the ID is
+// assigned (or adopted from X-Request-ID) before the handler runs, and
+// handlers annotate user/shard as they learn them so the access-log line
+// and error bodies are attributable. Handlers run on the request's own
+// goroutine, so plain fields need no synchronization.
+type reqInfo struct {
+	id    string
+	user  string
+	shard int // -1 until a routed operation reports its shard
+}
+
+type reqInfoKeyType struct{}
+
+var reqInfoKey reqInfoKeyType
+
+// requestInfo returns the request's reqInfo, or nil when the request did
+// not pass through the observability middleware (bare NewHandlerFor).
+func requestInfo(r *http.Request) *reqInfo {
+	info, _ := r.Context().Value(reqInfoKey).(*reqInfo)
+	return info
+}
+
+// annotate records the user (and shard, when >= 0) on the request's
+// reqInfo for the access log; a no-op without the middleware.
+func annotate(r *http.Request, user string, shard int) {
+	if info := requestInfo(r); info != nil {
+		info.user = user
+		if shard >= 0 {
+			info.shard = shard
+		}
+	}
+}
+
+// Request IDs are a per-process random prefix plus an atomic counter:
+// unique within and across restarts, cheap to mint, trivially greppable.
+var (
+	reqIDPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			binaryFill(b[:])
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqIDCounter atomic.Int64
+)
+
+// binaryFill seeds the prefix from the clock when crypto/rand fails
+// (effectively never; keeps the fallback deterministic-free).
+func binaryFill(b []byte) {
+	n := time.Now().UnixNano()
+	for i := range b {
+		b[i] = byte(n >> (8 * i))
+	}
+}
+
+func newRequestID() string {
+	return fmt.Sprintf("%s-%06x", reqIDPrefix, reqIDCounter.Add(1))
+}
+
+// statusRecorder captures the response status and body size for the
+// access log and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// logSink serializes JSON-lines writes from concurrent requests onto one
+// io.Writer.
+type logSink struct {
+	mu  sync.Mutex
+	out io.Writer
+}
+
+// accessLine is one structured request-log record.
+type accessLine struct {
+	TS        string `json:"ts"`
+	ID        string `json:"id"`
+	Method    string `json:"method"`
+	Route     string `json:"route"`
+	Path      string `json:"path"`
+	Status    int    `json:"status"`
+	Shard     int    `json:"shard"`
+	User      string `json:"user,omitempty"`
+	LatencyUS int64  `json:"latency_us"`
+	Bytes     int64  `json:"bytes"`
+	Remote    string `json:"remote,omitempty"`
+}
+
+func (s *logSink) write(line accessLine) {
+	b, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	s.mu.Lock()
+	_, _ = s.out.Write(b)
+	s.mu.Unlock()
+}
+
+// httpMetrics are the HTTP-surface series, labeled by mux route (bounded
+// cardinality: the route pattern, never the raw path).
+type httpMetrics struct {
+	requests *metrics.CounterVec
+	latency  *metrics.HistogramVec
+}
+
+func newHTTPMetrics(reg *metrics.Registry) *httpMetrics {
+	return &httpMetrics{
+		requests: reg.CounterVec("carserve_http_requests_total",
+			"HTTP requests by mux route and response status.", "route", "code"),
+		latency: reg.HistogramVec("carserve_http_request_seconds",
+			"End-to-end HTTP request latency by route, including admission queueing.",
+			RankLatencyBuckets, "route"),
+	}
+}
+
+// observe is the outermost middleware: it assigns the request ID
+// (honoring an inbound X-Request-ID), echoes it on the response, and —
+// after the inner handler ran — emits the access-log line and the HTTP
+// metrics. Route labels come from Go 1.23's r.Pattern, which the inner
+// ServeMux fills in on the same request; unmatched requests are labeled
+// "other" to bound cardinality.
+func observe(next http.Handler, accessLog io.Writer, hm *httpMetrics) http.Handler {
+	var sink *logSink
+	if accessLog != nil {
+		sink = &logSink{out: accessLog}
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" || len(id) > 128 {
+			id = newRequestID()
+		}
+		info := &reqInfo{id: id, shard: -1}
+		r = r.WithContext(context.WithValue(r.Context(), reqInfoKey, info))
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w}
+
+		next.ServeHTTP(rec, r)
+
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		route := r.Pattern
+		if route == "" {
+			route = "other"
+		}
+		elapsed := time.Since(started)
+		if hm != nil {
+			hm.requests.With(route, strconv.Itoa(rec.status)).Inc()
+			hm.latency.With(route).Observe(elapsed.Seconds())
+		}
+		if sink != nil {
+			sink.write(accessLine{
+				TS:        started.UTC().Format(time.RFC3339Nano),
+				ID:        id,
+				Method:    r.Method,
+				Route:     route,
+				Path:      r.URL.Path,
+				Status:    rec.status,
+				Shard:     info.shard,
+				User:      info.user,
+				LatencyUS: elapsed.Microseconds(),
+				Bytes:     rec.bytes,
+				Remote:    r.RemoteAddr,
+			})
+		}
+	})
+}
+
+// admissionGate applies the global concurrency gate + bounded queue.
+// Liveness and scrape endpoints bypass it: /healthz must answer while
+// shedding (that is when operators look) and a blocked /metrics would
+// hide the very overload it reports.
+func admissionGate(next http.Handler, adm *Admission) http.Handler {
+	if adm == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		release, ok, retry := adm.Acquire()
+		if !ok {
+			writeShed(w, r, retry, errors.New("serve: overloaded, request queue full"))
+			return
+		}
+		defer release()
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"strconv"
+
+	"repro/internal/serve/journal"
+	"repro/internal/serve/metrics"
+)
+
+// RegisterBackendMetrics exposes a serving backend's counters as
+// carserve_* Prometheus series. Per-shard series are derived from
+// Stats.Shards when the backend is sharded; an unsharded Server is
+// exported as shard "0", so dashboards are identical either way. The
+// whole export is one lock-free Stats() call per scrape — no second
+// bookkeeping layer that could drift from /v1/stats, and no scrape-time
+// contention with rank traffic (the PR-3 discipline).
+func RegisterBackendMetrics(reg *metrics.Registry, b Backend) {
+	reg.Collect(func(w *metrics.Writer) {
+		st := b.Stats()
+		shards := st.Shards
+		if len(shards) == 0 {
+			shards = []Stats{st}
+		}
+
+		w.Family("carserve_uptime_seconds", "gauge", "Seconds since the backend started.")
+		w.Sample("carserve_uptime_seconds", st.UptimeSeconds)
+		w.Family("carserve_epoch", "gauge", "Current facade epoch (vocabulary/data version).")
+		w.Sample("carserve_epoch", float64(st.Epoch))
+		w.Family("carserve_rules", "gauge", "Registered preference rules.")
+		w.Sample("carserve_rules", float64(st.Rules))
+
+		w.Family("carserve_sessions", "gauge", "Live sessions per shard.")
+		for i, s := range shards {
+			w.Sample("carserve_sessions", float64(s.Sessions), "shard", strconv.Itoa(i))
+		}
+		w.Family("carserve_events", "gauge", "Declared basic events per shard (growth = event leak).")
+		for i, s := range shards {
+			w.Sample("carserve_events", float64(s.Events), "shard", strconv.Itoa(i))
+		}
+		w.Family("carserve_rank_requests_total", "counter", "Rank requests (single + batch items) per shard.")
+		for i, s := range shards {
+			w.Sample("carserve_rank_requests_total", float64(s.Requests), "shard", strconv.Itoa(i))
+		}
+
+		w.Family("carserve_rank_latency_seconds", "histogram", "Rank call latency per shard.")
+		for i, s := range shards {
+			if len(s.Latency.Buckets) == 0 {
+				continue
+			}
+			// The recorder tracks an exact all-time sum in microseconds via
+			// the mean; reconstruct seconds for the histogram _sum line.
+			sum := s.Latency.MeanMicros * float64(s.Latency.Count) / 1e6
+			w.Histogram("carserve_rank_latency_seconds", RankLatencyBuckets,
+				s.Latency.Buckets, sum, "shard", strconv.Itoa(i))
+		}
+
+		exportCache(w, "carserve_rank_cache", "rank-result", shards, func(s Stats) CacheStats { return s.Cache })
+		exportCache(w, "carserve_plan_cache", "compiled-rank-plan", shards, func(s Stats) CacheStats { return s.Plans })
+
+		exportJournal(w, shards)
+
+		if st.Broadcast != nil {
+			w.Family("carserve_broadcast_writes_total", "counter", "Cross-shard vocabulary broadcasts.")
+			w.Sample("carserve_broadcast_writes_total", float64(st.Broadcast.Writes))
+			w.Family("carserve_broadcast_mean_seconds", "gauge", "Mean broadcast wall time (slowest shard).")
+			w.Sample("carserve_broadcast_mean_seconds", st.Broadcast.MeanMicros/1e6)
+			w.Family("carserve_broadcast_max_seconds", "gauge", "Worst broadcast wall time since start.")
+			w.Sample("carserve_broadcast_max_seconds", st.Broadcast.MaxMicros/1e6)
+		}
+	})
+}
+
+// exportCache emits one cache's hit/miss/coalesce/evict counters and
+// occupancy + hit-ratio gauges per shard under the given series prefix.
+func exportCache(w *metrics.Writer, prefix, what string, shards []Stats, get func(Stats) CacheStats) {
+	w.Family(prefix+"_hits_total", "counter", "Hits in the "+what+" cache.")
+	for i, s := range shards {
+		w.Sample(prefix+"_hits_total", float64(get(s).Hits), "shard", strconv.Itoa(i))
+	}
+	w.Family(prefix+"_misses_total", "counter", "Misses in the "+what+" cache.")
+	for i, s := range shards {
+		w.Sample(prefix+"_misses_total", float64(get(s).Misses), "shard", strconv.Itoa(i))
+	}
+	w.Family(prefix+"_evicted_total", "counter", "Evictions from the "+what+" cache.")
+	for i, s := range shards {
+		w.Sample(prefix+"_evicted_total", float64(get(s).Evicted), "shard", strconv.Itoa(i))
+	}
+	w.Family(prefix+"_size", "gauge", "Entries in the "+what+" cache.")
+	for i, s := range shards {
+		w.Sample(prefix+"_size", float64(get(s).Size), "shard", strconv.Itoa(i))
+	}
+	w.Family(prefix+"_hit_ratio", "gauge", "Hit fraction of the "+what+" cache since start.")
+	for i, s := range shards {
+		w.Sample(prefix+"_hit_ratio", get(s).HitRate, "shard", strconv.Itoa(i))
+	}
+}
+
+// exportJournal emits the session-WAL counters and the group-commit
+// batch-size histogram for every shard that runs with a journal.
+func exportJournal(w *metrics.Writer, shards []Stats) {
+	any := false
+	for _, s := range shards {
+		if s.Journal != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	counter := func(name, help string, get func(journal.Stats) float64) {
+		w.Family(name, "counter", help)
+		for i, s := range shards {
+			if s.Journal != nil {
+				w.Sample(name, get(*s.Journal), "shard", strconv.Itoa(i))
+			}
+		}
+	}
+	counter("carserve_journal_appends_total", "Acknowledged session-WAL records.",
+		func(j journal.Stats) float64 { return float64(j.Appends) })
+	counter("carserve_journal_fsyncs_total", "Session-WAL file syncs.",
+		func(j journal.Stats) float64 { return float64(j.Fsyncs) })
+	counter("carserve_journal_compactions_total", "Session-WAL live-record rewrites.",
+		func(j journal.Stats) float64 { return float64(j.Compactions) })
+	counter("carserve_journal_compact_failures_total", "Failed session-WAL compaction attempts.",
+		func(j journal.Stats) float64 { return float64(j.CompactFailures) })
+
+	w.Family("carserve_journal_bytes", "gauge", "Session-WAL file size.")
+	for i, s := range shards {
+		if s.Journal != nil {
+			w.Sample("carserve_journal_bytes", float64(s.Journal.Bytes), "shard", strconv.Itoa(i))
+		}
+	}
+	w.Family("carserve_journal_live_records", "gauge", "Users with a live WAL record.")
+	for i, s := range shards {
+		if s.Journal != nil {
+			w.Sample("carserve_journal_live_records", float64(s.Journal.LiveRecords), "shard", strconv.Itoa(i))
+		}
+	}
+
+	bounds := make([]float64, len(journal.BatchSizeBuckets))
+	for i, b := range journal.BatchSizeBuckets {
+		bounds[i] = float64(b)
+	}
+	w.Family("carserve_journal_batch_records", "histogram",
+		"Records per group commit: mass above 1 means concurrent applies share fsyncs.")
+	for i, s := range shards {
+		if s.Journal == nil || len(s.Journal.BatchSizes) == 0 {
+			continue
+		}
+		// _sum is total records = Appends; _count is Batches.
+		w.Histogram("carserve_journal_batch_records", bounds,
+			s.Journal.BatchSizes, float64(s.Journal.Appends), "shard", strconv.Itoa(i))
+	}
+}
+
+// RegisterAdmissionMetrics exposes the admission controller's state.
+// Safe to call with adm == nil: the series are emitted as zeros so
+// dashboards and alerts need not special-case unlimited deployments.
+func RegisterAdmissionMetrics(reg *metrics.Registry, adm *Admission) {
+	reg.Collect(func(w *metrics.Writer) {
+		st := adm.Stats()
+		w.Family("carserve_inflight_requests", "gauge", "Requests currently executing past the admission gate.")
+		w.Sample("carserve_inflight_requests", float64(st.InFlight))
+		w.Family("carserve_queued_requests", "gauge", "Requests waiting for an in-flight slot.")
+		w.Sample("carserve_queued_requests", float64(st.Queued))
+		w.Family("carserve_admitted_total", "counter", "Requests admitted past the gate.")
+		w.Sample("carserve_admitted_total", float64(st.Admitted))
+		w.Family("carserve_shed_total", "counter", "Requests shed with 429, by reason.")
+		w.Sample("carserve_shed_total", float64(st.ShedQueue), "reason", "queue_full")
+		w.Sample("carserve_shed_total", float64(st.ShedUser), "reason", "rate_limit")
+	})
+}
