@@ -75,13 +75,13 @@ func runServeLoadgen(cfg loadgenConfig) (loadgenResult, error) {
 	var backend serve.Backend
 	if shards > 1 || cfg.JournalDir != "" || cfg.ForceCoordinator {
 		// Journaled runs go through the coordinator even at one shard:
-		// RecoverSessions owns the journal generation lifecycle.
+		// Recover owns the journal generation lifecycle.
 		coord, err := shard.New(shards, build, serve.Options{CacheSize: cfg.CacheSize})
 		if err != nil {
 			return loadgenResult{}, err
 		}
 		if cfg.JournalDir != "" {
-			if _, err := coord.RecoverSessions(cfg.JournalDir, journal.Options{}); err != nil {
+			if _, err := coord.Recover(cfg.JournalDir, journal.Options{}); err != nil {
 				return loadgenResult{}, err
 			}
 			defer coord.CloseJournals() //nolint:errcheck // best-effort teardown after the measurement window

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	carserved [-addr :8372] [-shards 4] [-cache 1024] [-snapdir dir]
+//	          [-checkpoint-interval 5m] [-checkpoint-bytes 67108864]
 //	          [-preload none|small|paper] [-rules 4]
 //	          [-metrics] [-ratelimit R] [-burst B]
 //	          [-maxinflight N] [-maxqueue Q] [-accesslog path|-]
@@ -27,28 +28,27 @@
 //
 // With -snapdir the daemon is crash-safe, not merely restartable:
 //
-//   - Durable data (vocabulary, assertions, rules, views) is snapshotted
-//     per shard on SIGTERM/SIGINT — and, when the directory holds no
-//     snapshot yet, once at boot right after preloading, so the durable
-//     base never depends on a clean shutdown.
-//   - Live sessions ride a per-shard write-ahead journal
-//     (internal/serve/journal): every acknowledged session update/drop is
-//     fsynced (group commit) before the HTTP response, and boot replays
-//     the journal after the snapshot restore, re-applying each user's
-//     measurements through the ordinary merged-apply path so context
-//     fingerprints, ctx_* events and rank scores come back bit-identical.
-//     The boot log reports how many records and users were recovered.
+//   - Every acknowledged mutation — session update/drop, declare, assert,
+//     rule add/remove, SQL exec — rides a per-shard full-state
+//     write-ahead journal (internal/serve/journal): the record is fsynced
+//     (group commit) before the HTTP response, in apply order.
+//   - A background checkpointer (-checkpoint-interval /
+//     -checkpoint-bytes) periodically snapshots every shard and truncates
+//     the WALs down to live sessions, so the journal stays bounded and
+//     recovery stays fast. SIGTERM/SIGINT takes a final checkpoint; when
+//     the directory holds no snapshot yet, one is also taken at boot
+//     right after preloading.
+//   - Boot restores the latest snapshot and replays the WAL suffix on
+//     top, re-applying each record through the ordinary serving path so
+//     context fingerprints, ctx_* events and rank scores come back
+//     bit-identical. The boot log reports how many session and
+//     vocabulary/DML records were recovered.
 //
-// On kill -9, OOM or node loss the next boot therefore restores the last
-// snapshot and replays the journal on top: every acknowledged *session*
-// update survives any crash, while durable data (vocabulary, assertions,
-// rules, DML) recovers to its most recent snapshot — the boot snapshot
-// at minimum; durable writes made *between* snapshots are not yet
-// journaled and are lost by a crash (journaled session records that
-// reference such lost vocabulary are preserved across the reboot and
-// retried on later boots). Before the journal existed, a crash lost
-// *all* state even with -snapdir, because snapshots were written only
-// on SIGTERM.
+// On kill -9, OOM or node loss the next boot therefore recovers to the
+// exact acknowledged state: snapshot + WAL suffix covers sessions and
+// durable data alike, to a single consistent point. (Earlier versions
+// journaled only sessions; durable writes between snapshots were lost on
+// crash.)
 // The shard count may change between runs: broadcast replication makes
 // any shard's snapshot a full copy of the durable state, so a reboot with
 // a different -shards value is an online reshard — journal replay routes
@@ -96,9 +96,12 @@ func main() {
 		addr    = flag.String("addr", ":8372", "listen address")
 		shards  = flag.Int("shards", 1, "shard replicas; per-user traffic is routed by consistent hash of the user ID")
 		cache   = flag.Int("cache", serve.DefaultCacheSize, "per-shard rank cache capacity in entries (-1 disables caching)")
-		snapdir = flag.String("snapdir", "", "durability directory: per-shard snapshots (restored on boot, saved at first boot and on shutdown) plus the session write-ahead journal (replayed on boot) — makes the daemon crash-safe")
-		preload = flag.String("preload", "none", "preload dataset: none, small or paper (ignored when restoring from -snapdir)")
-		rules   = flag.Int("rules", 4, "preference rules to register with -preload")
+		snapdir = flag.String("snapdir", "", "durability directory: per-shard snapshots (restored on boot, saved at first boot, by the background checkpointer and on shutdown) plus the full-state write-ahead journal (replayed on boot) — makes the daemon crash-safe")
+
+		ckptInterval = flag.Duration("checkpoint-interval", 5*time.Minute, "background checkpoint period with -snapdir: snapshot all shards and truncate the WALs (0 disables the time trigger)")
+		ckptBytes    = flag.Int64("checkpoint-bytes", 64<<20, "background checkpoint size trigger with -snapdir: checkpoint once the WALs hold this many bytes of vocabulary records, summed across shards (0 disables the size trigger)")
+		preload      = flag.String("preload", "none", "preload dataset: none, small or paper (ignored when restoring from -snapdir)")
+		rules        = flag.Int("rules", 4, "preference rules to register with -preload")
 
 		metricsOn   = flag.Bool("metrics", true, "serve Prometheus text exposition at GET /metrics")
 		ratelimit   = flag.Float64("ratelimit", 0, "per-user sustained request budget in req/s on rank and session endpoints (0 disables)")
@@ -119,21 +122,24 @@ func main() {
 	}
 
 	if *snapdir != "" {
-		// Session durability: journal from here on, replaying whatever a
-		// previous incarnation journaled (routed, so a changed -shards
-		// value reassigns users correctly).
-		rs, err := coord.RecoverSessions(*snapdir, journal.Options{})
+		// Full-state durability: journal from here on, replaying whatever
+		// a previous incarnation journaled (session records are routed, so
+		// a changed -shards value reassigns users correctly; vocabulary
+		// records are re-broadcast and deduplicated by broadcast id).
+		rs, err := coord.Recover(*snapdir, journal.Options{})
 		if err != nil {
-			log.Fatalf("carserved: recovering sessions: %v", err)
+			log.Fatalf("carserved: recovering journal: %v", err)
 		}
 		if rs.Records > 0 || rs.TornFiles > 0 || rs.BadFiles > 0 {
-			log.Printf("carserved: session journal: replayed %d records from %d file(s) -> %d live users (%d drops, %d failed-and-preserved, %d torn tails, %d unreadable files)",
+			log.Printf("carserved: journal: replayed %d records from %d file(s) -> %d live users (%d drops, %d failed-and-preserved, %d torn tails, %d unreadable files)",
 				rs.Records, rs.Files, rs.Users, rs.Drops, rs.Failed, rs.TornFiles, rs.BadFiles)
+			log.Printf("carserved: journal: vocabulary/DML replay: %d applied (%d declares, %d asserts, %d rule adds, %d rule removes, %d execs), %d covered by checkpoint, %d duplicate broadcasts",
+				rs.VocabApplied(), rs.Declares, rs.Asserts, rs.RuleAdds, rs.RuleRemoves, rs.Execs, rs.SkippedCheckpoint, rs.SkippedDuplicate)
 			if rs.FingerprintMismatches > 0 {
-				log.Printf("carserved: session journal: %d fingerprint mismatches (fingerprint function changed between versions?)", rs.FingerprintMismatches)
+				log.Printf("carserved: journal: %d fingerprint mismatches (fingerprint function changed between versions?)", rs.FingerprintMismatches)
 			}
 		} else {
-			log.Printf("carserved: session journal armed in %s (nothing to replay)", *snapdir)
+			log.Printf("carserved: journal armed in %s (nothing to replay)", *snapdir)
 		}
 		if !restored {
 			// No snapshot existed, so the durable base so far lives only
@@ -146,6 +152,16 @@ func main() {
 			}
 			log.Printf("carserved: saved boot snapshot (%d shard(s)) to %s", coord.N(), *snapdir)
 		}
+	}
+
+	var stopCkpt func()
+	if *snapdir != "" && (*ckptInterval > 0 || *ckptBytes > 0) {
+		stopCkpt = coord.StartCheckpointer(*snapdir, shard.CheckpointerOptions{
+			Interval: *ckptInterval,
+			Bytes:    *ckptBytes,
+			OnError:  func(err error) { log.Printf("carserved: background checkpoint: %v", err) },
+		})
+		log.Printf("carserved: background checkpointer armed (interval=%s bytes=%d)", *ckptInterval, *ckptBytes)
 	}
 
 	hopts := serve.HandlerOptions{
@@ -195,6 +211,11 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("carserved: shutdown: %v", err)
+	}
+	if stopCkpt != nil {
+		// Stopped before the final save so the shutdown checkpoint cannot
+		// race a background one.
+		stopCkpt()
 	}
 	if *snapdir != "" {
 		if err := coord.SaveSnapshots(*snapdir); err != nil {

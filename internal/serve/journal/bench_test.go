@@ -49,6 +49,53 @@ func BenchmarkJournalAppend(b *testing.B) {
 	})
 }
 
+// BenchmarkJournalDeclareAssert measures the framing + group-commit cost
+// of the vocabulary record shapes (a declare and an assert per
+// iteration) — the full-state WAL's new write classes, gated alongside
+// BenchmarkJournalAppend so widening the record type does not quietly
+// slow the mutation path.
+func BenchmarkJournalDeclareAssert(b *testing.B) {
+	j, _, err := Open(filepath.Join(b.TempDir(), "bench.wal"), Options{
+		NoSync:            true,
+		CompactMinRecords: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			decl := Record{
+				Op:       OpDeclare,
+				BID:      uint64(i + 1),
+				Concepts: []string{fmt.Sprintf("BenchConcept%04d", i%512)},
+				Roles:    []string{"benchRole"},
+				Subs:     []SubDecl{{Sub: fmt.Sprintf("BenchConcept%04d", i%512), Super: "TvProgram"}},
+			}
+			assert := Record{
+				Op:  OpAssert,
+				BID: uint64(i + 2),
+				ConceptAsserts: []ConceptAssert{
+					{Concept: "TvProgram", ID: fmt.Sprintf("tv%04d", i%512), Prob: 1},
+				},
+				RoleAsserts: []RoleAssert{
+					{Role: "hasGenre", Src: fmt.Sprintf("tv%04d", i%512), Dst: "g0", Prob: 0.9},
+				},
+			}
+			if err := j.Append(decl); err != nil {
+				b.Fatal(err)
+			}
+			if err := j.Append(assert); err != nil {
+				b.Fatal(err)
+			}
+			i += 2
+		}
+	})
+}
+
 // BenchmarkJournalAppendFsync is the durable configuration: every batch
 // fsyncs. ns/op here is dominated by the disk, so it is informational
 // (not part of the regression gate) — divide by the achieved batch size

@@ -6,8 +6,9 @@ import (
 	"testing"
 )
 
-// validJournalBytes builds a well-formed journal (3 sets, 1 drop) to seed
-// the fuzzer with realistic frame structure.
+// validJournalBytes builds a well-formed journal mixing every record
+// type — sessions, drops, and the full vocabulary set — to seed the
+// fuzzer with realistic frame structure.
 func validJournalBytes(tb testing.TB) []byte {
 	tb.Helper()
 	path := filepath.Join(tb.TempDir(), "seed.wal")
@@ -16,9 +17,14 @@ func validJournalBytes(tb testing.TB) []byte {
 		tb.Fatal(err)
 	}
 	for _, rec := range []Record{
+		{Op: OpDeclare, BID: 1, Concepts: []string{"CtxA", "CtxB"}, Roles: []string{"likes"}, Subs: []SubDecl{{Sub: "CtxB", Super: "CtxA"}}},
 		{Op: OpSet, User: "peter", Measurements: []Measurement{{Concept: "CtxA", Prob: 0.8}}},
+		{Op: OpAssert, BID: 2, ConceptAsserts: []ConceptAssert{{Concept: "CtxA", ID: "x1", Prob: 1}}, RoleAsserts: []RoleAssert{{Role: "likes", Src: "x1", Dst: "x2", Prob: 0.9}}},
 		{Op: OpSet, User: "maria", Measurements: []Measurement{{Concept: "CtxB", Prob: 0.5, Exclusive: "loc"}}},
+		{Op: OpAddRules, BID: 3, Rules: []string{"RULE r WHEN CtxA PREFER CtxB WITH 0.9"}},
 		{Op: OpDrop, User: "peter"},
+		{Op: OpExec, BID: 4, Stmt: "CREATE TABLE t (a INT)"},
+		{Op: OpRemoveRule, BID: 5, Rule: "r"},
 		{Op: OpSet, User: "peter", Measurements: []Measurement{{Concept: "CtxA", Prob: 1}}},
 	} {
 		if err := j.Append(rec); err != nil {

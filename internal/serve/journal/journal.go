@@ -1,13 +1,26 @@
-// Package journal is the durable session write-ahead log of the serving
-// layer: an append-only, CRC-framed record stream that makes live sessions
-// survive a crash (kill -9, OOM, node loss) even though serve-layer
-// snapshots deliberately exclude session rows (Sessions.SuspendAndDump —
-// context is re-sensed, §5). Every acknowledged Sessions.Set/Drop is
-// fsynced to the journal before the acknowledgement, so boot-time replay
-// reconstructs exactly the acknowledged session state by re-applying each
-// record through the ordinary merged-apply path — ctx_* events and context
+// Package journal is the durable write-ahead log of the serving layer: an
+// append-only, CRC-framed record stream covering every mutation the
+// serving layer acknowledges — session applies and drops (OpSet/OpDrop)
+// and the vocabulary/data writes (OpDeclare, OpAssert, OpAddRules,
+// OpRemoveRule, OpExec). Every acknowledged mutation is fsynced to the
+// journal before the acknowledgement, inside the same critical section
+// that applied it, so journal order equals apply order and boot-time
+// replay reconstructs exactly the acknowledged state by re-applying each
+// record through the ordinary apply path — ctx_* events and context
 // fingerprints are rebuilt, not restored, and therefore cannot drift from
 // what a fresh apply would produce.
+//
+// Session records and vocabulary records retire differently. A session
+// Set is superseded by the user's next Set (or Drop), so the journal can
+// drop the old record on its own (see Compaction). A vocabulary record
+// has no in-log successor: it is dead only once a *checkpoint* — a full
+// snapshot of the durable state — covers it. Checkpoint(seq) tells the
+// journal that all vocabulary records with Seq <= seq are now persisted
+// elsewhere; they are dropped from the retained set and the file is
+// rewritten, so WAL size returns to ~live-session size after every
+// checkpoint. Records carrying Preserved (re-journaled records whose
+// apply failed during recovery) and records with an unknown Op are exempt
+// from checkpoint truncation: the journal is their only copy.
 //
 // # File format
 //
@@ -35,13 +48,16 @@
 // # Compaction
 //
 // The journal tracks, per user, the frame of the latest live Set record
-// (a Drop removes the user). Once the file holds more dead records
-// (superseded Sets, Drops, Sets of since-dropped users) than live ones —
-// and at least Options.CompactMinRecords in total — the writer rewrites
-// the file from the live map alone, in original sequence order, to a
-// temporary file that is fsynced and renamed over the journal. Under
-// arbitrary session churn the file is therefore bounded by the live
-// session population, and replay cost stays proportional to live state.
+// (a Drop removes the user), plus every vocabulary record not yet covered
+// by a checkpoint. Once the file holds more dead records (superseded
+// Sets, Drops, Sets of since-dropped users, checkpointed vocabulary) than
+// retained ones — and at least Options.CompactMinRecords in total — the
+// writer rewrites the file from the retained set alone, in original
+// sequence order, to a temporary file that is fsynced and renamed over
+// the journal. A Checkpoint forces this rewrite immediately. Under
+// arbitrary churn with periodic checkpoints the file is therefore bounded
+// by the live session population plus one checkpoint interval's
+// vocabulary writes, and replay cost stays proportional to that state.
 package journal
 
 import (
@@ -109,7 +125,7 @@ const frameOverhead = 8
 // accelerated on amd64/arm64 — the usual WAL checksum choice).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Op is the journaled session operation.
+// Op is the journaled operation.
 type Op uint8
 
 const (
@@ -117,7 +133,22 @@ const (
 	OpSet Op = 1
 	// OpDrop ends the user's session.
 	OpDrop Op = 2
+	// OpDeclare adds concepts, roles and/or subsumption axioms.
+	OpDeclare Op = 3
+	// OpAssert adds concept/role assertions (probabilistic facts).
+	OpAssert Op = 4
+	// OpAddRules adds preference rules (by source text).
+	OpAddRules Op = 5
+	// OpRemoveRule removes one preference rule by name.
+	OpRemoveRule Op = 6
+	// OpExec runs a raw SQL DML/DDL statement against the store.
+	OpExec Op = 7
 )
+
+// IsVocab reports whether the op mutates durable vocabulary/data state
+// (everything except session ops). Vocabulary records are retired by
+// checkpoints, not by later records.
+func (op Op) IsVocab() bool { return op >= OpDeclare }
 
 // Measurement is the journal's own wire shape for one session measurement.
 // It mirrors situation.Measurement but carries explicit JSON tags so the
@@ -130,14 +161,44 @@ type Measurement struct {
 	Source     string  `json:"s,omitempty"`
 }
 
-// Record is one journaled session operation. Seq is assigned by the
-// journal at submit time and increases monotonically within a file;
-// compaction preserves the original Seq values (and their order), so a
-// replayed record's Seq always reflects its original apply order.
+// SubDecl is one subsumption axiom (Sub ⊑ Super) in a declare record.
+type SubDecl struct {
+	Sub   string `json:"sub"`
+	Super string `json:"super"`
+}
+
+// ConceptAssert is one concept membership assertion in an assert record.
+type ConceptAssert struct {
+	Concept string  `json:"c"`
+	ID      string  `json:"id"`
+	Prob    float64 `json:"p"`
+}
+
+// RoleAssert is one role (binary relation) assertion in an assert record.
+type RoleAssert struct {
+	Role string  `json:"r"`
+	Src  string  `json:"src"`
+	Dst  string  `json:"dst"`
+	Prob float64 `json:"p"`
+}
+
+// Record is one journaled operation. Seq is assigned by the journal at
+// submit time and increases monotonically within a file; compaction
+// preserves the original Seq values (and their order), so a replayed
+// record's Seq always reflects its original apply order. Which payload
+// fields are meaningful depends on Op; unused fields are omitted from the
+// wire encoding.
 type Record struct {
-	Op           Op            `json:"op"`
-	Seq          uint64        `json:"seq"`
-	User         string        `json:"user"`
+	Op  Op     `json:"op"`
+	Seq uint64 `json:"seq"`
+	// BID tags a broadcast vocabulary write with a coordinator-wide id.
+	// Every shard journals the same record with the same BID, so recovery
+	// — which replays every shard's WAL through the broadcast apply path —
+	// can apply each broadcast write exactly once. Zero means untagged
+	// (unsharded server, or legacy records).
+	BID uint64 `json:"bid,omitempty"`
+	// User is the session owner (OpSet/OpDrop only).
+	User         string        `json:"user,omitempty"`
 	Measurements []Measurement `json:"ms,omitempty"`
 	// Fingerprint is the context fingerprint the serving layer computed
 	// for this Set — informational: replay recomputes it through the
@@ -145,6 +206,24 @@ type Record struct {
 	Fingerprint string `json:"fp,omitempty"`
 	// Epoch is the facade epoch at apply time (informational).
 	Epoch int64 `json:"epoch,omitempty"`
+	// Concepts/Roles/Subs carry an OpDeclare payload.
+	Concepts []string  `json:"concepts,omitempty"`
+	Roles    []string  `json:"roles,omitempty"`
+	Subs     []SubDecl `json:"subs,omitempty"`
+	// ConceptAsserts/RoleAsserts carry an OpAssert payload.
+	ConceptAsserts []ConceptAssert `json:"cas,omitempty"`
+	RoleAsserts    []RoleAssert    `json:"ras,omitempty"`
+	// Rules carries OpAddRules rule source texts.
+	Rules []string `json:"rules,omitempty"`
+	// Rule is the OpRemoveRule rule name.
+	Rule string `json:"rule,omitempty"`
+	// Stmt is the OpExec SQL statement.
+	Stmt string `json:"stmt,omitempty"`
+	// Preserved marks a record re-journaled by recovery after its apply
+	// failed (schema drift, reshard edge cases). Preserved records are
+	// exempt from checkpoint truncation — the snapshot does not contain
+	// their effect, so the journal is their only copy.
+	Preserved bool `json:"preserved,omitempty"`
 }
 
 // Options tunes a journal.
@@ -193,6 +272,18 @@ type Stats struct {
 	CompactFailures int64 `json:"compact_failures"`
 	// LiveRecords is the current number of users with a live Set record.
 	LiveRecords int `json:"live_records"`
+	// VocabRecords is the current number of retained vocabulary records
+	// (declare/assert/rules/exec not yet covered by a checkpoint, plus
+	// checkpoint-exempt preserved/unknown records).
+	VocabRecords int `json:"vocab_records"`
+	// VocabBytes is the framed size of the retained vocabulary records —
+	// the "WAL bytes since last checkpoint" gauge. Background checkpoints
+	// drive it back to ~0; unbounded growth means checkpointing is off or
+	// failing.
+	VocabBytes int64 `json:"vocab_bytes"`
+	// CheckpointSeq is the highest sequence number covered by a
+	// checkpoint this incarnation (0 before the first checkpoint).
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
 	// TotalRecords is the number of records in the file (live + dead).
 	TotalRecords int `json:"total_records"`
 	// Bytes is the current file size.
@@ -214,6 +305,9 @@ func (s Stats) Merge(o Stats) Stats {
 		Compactions:     s.Compactions + o.Compactions,
 		CompactFailures: s.CompactFailures + o.CompactFailures,
 		LiveRecords:     s.LiveRecords + o.LiveRecords,
+		VocabRecords:    s.VocabRecords + o.VocabRecords,
+		VocabBytes:      s.VocabBytes + o.VocabBytes,
+		CheckpointSeq:   max(s.CheckpointSeq, o.CheckpointSeq),
 		TotalRecords:    s.TotalRecords + o.TotalRecords,
 		Bytes:           s.Bytes + o.Bytes,
 	}
@@ -237,17 +331,31 @@ type liveEntry struct {
 	payload []byte // marshaled Record JSON (not framed)
 }
 
+// vocabEntry is one retained vocabulary record, kept until a checkpoint
+// covers it. exempt entries (Preserved records, unknown ops) survive
+// checkpoints too: the snapshot does not contain their effect.
+type vocabEntry struct {
+	seq     uint64
+	payload []byte
+	exempt  bool
+}
+
 // pending is one submitted record waiting for its group commit. A
 // barrier carries no record: it just forces the batch that contains it
 // to fsync (even under NoSync) and completes once everything submitted
-// before it is durable.
+// before it is durable. A checkpoint is a barrier that additionally
+// retires vocabulary records with seq <= ckptSeq and forces a compaction
+// rewrite once the batch is durable.
 type pending struct {
-	user    string
-	op      Op
-	seq     uint64
-	payload []byte
-	barrier bool
-	done    chan error
+	user       string
+	op         Op
+	seq        uint64
+	payload    []byte
+	preserved  bool
+	barrier    bool
+	checkpoint bool
+	ckptSeq    uint64
+	done       chan error
 }
 
 // Journal is an append-only session WAL over one file. All methods are
@@ -266,10 +374,13 @@ type Journal struct {
 	seq    uint64
 
 	// Writer-goroutine state (no lock needed beyond the handoff above).
-	f     *os.File
-	size  int64
-	total int
-	live  map[string]liveEntry
+	f      *os.File
+	size   int64
+	total  int
+	live   map[string]liveEntry
+	vocab  []vocabEntry
+	vbytes int64  // framed size of vocab entries (kept incrementally)
+	ckpt   uint64 // highest checkpointed seq this incarnation
 
 	exited chan struct{}
 
@@ -284,6 +395,9 @@ type Journal struct {
 	compactions     atomic.Int64
 	compactFailures atomic.Int64
 	liveCount       atomic.Int64
+	vocabCount      atomic.Int64
+	vocabBytes      atomic.Int64
+	ckptSeq         atomic.Uint64
 	totalCount      atomic.Int64
 	bytes           atomic.Int64
 
@@ -372,14 +486,24 @@ func Open(path string, opts Options) (*Journal, ReplayStats, error) {
 	return j, rs, nil
 }
 
-// applyLive folds one record into the live map (writer goroutine / open
-// scan only).
+// applyLive folds one record into the retained-record state (writer
+// goroutine / open scan only). Session ops maintain the per-user live
+// map; everything else is a vocabulary record retained until a
+// checkpoint covers it. Unknown ops (a newer version's records) are
+// retained as checkpoint-exempt: this incarnation's snapshots cannot
+// contain their effect.
 func (j *Journal) applyLive(rec Record, payload []byte) {
 	switch rec.Op {
 	case OpSet:
 		j.live[rec.User] = liveEntry{seq: rec.Seq, payload: payload}
 	case OpDrop:
 		delete(j.live, rec.User)
+	case OpDeclare, OpAssert, OpAddRules, OpRemoveRule, OpExec:
+		j.vocab = append(j.vocab, vocabEntry{seq: rec.Seq, payload: payload, exempt: rec.Preserved})
+		j.vbytes += int64(frameOverhead + len(payload))
+	default:
+		j.vocab = append(j.vocab, vocabEntry{seq: rec.Seq, payload: payload, exempt: true})
+		j.vbytes += int64(frameOverhead + len(payload))
 	}
 }
 
@@ -387,6 +511,8 @@ func (j *Journal) publishCounters() {
 	j.liveCount.Store(int64(len(j.live)))
 	j.totalCount.Store(int64(j.total))
 	j.bytes.Store(j.size)
+	j.vocabCount.Store(int64(len(j.vocab)))
+	j.vocabBytes.Store(j.vbytes)
 }
 
 // Path returns the journal's file path.
@@ -401,6 +527,9 @@ func (j *Journal) Stats() Stats {
 		Compactions:     j.compactions.Load(),
 		CompactFailures: j.compactFailures.Load(),
 		LiveRecords:     int(j.liveCount.Load()),
+		VocabRecords:    int(j.vocabCount.Load()),
+		VocabBytes:      j.vocabBytes.Load(),
+		CheckpointSeq:   j.ckptSeq.Load(),
 		TotalRecords:    int(j.totalCount.Load()),
 		Bytes:           j.bytes.Load(),
 	}
@@ -467,11 +596,50 @@ func (j *Journal) Submit(rec Record) func() error {
 		j.mu.Unlock()
 		return waitErr(fmt.Errorf("journal: record for %q is %d bytes (max %d)", rec.User, len(payload), maxRecordSize))
 	}
-	p := &pending{user: rec.User, op: rec.Op, seq: rec.Seq, payload: payload, done: make(chan error, 1)}
+	p := &pending{user: rec.User, op: rec.Op, seq: rec.Seq, payload: payload, preserved: rec.Preserved, done: make(chan error, 1)}
 	j.queue = append(j.queue, p)
 	j.mu.Unlock()
 	j.cond.Signal()
 	return func() error { return <-p.done }
+}
+
+// Seq returns the highest sequence number assigned so far. Callers that
+// need an exact cut (the checkpointer captures it inside the same
+// critical section that quiesces submits) must hold whatever lock
+// serializes their Submits.
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Checkpoint tells the journal that a snapshot now covers every
+// vocabulary record with Seq <= seq: they are dropped from the retained
+// set and the file is rewritten (live sessions + still-retained
+// vocabulary records only), truncating the WAL to ~live-state size. The
+// call is durable — it completes only after everything submitted before
+// it is fsynced and the rewrite has been renamed into place. Records
+// marked Preserved and records with unknown ops survive checkpoints; a
+// rewrite failure is reported (and counted in CompactFailures) but the
+// retained-set truncation stands: the snapshot, not the rewrite, is the
+// authority for what may be dropped, and the next successful compaction
+// reclaims the space.
+func (j *Journal) Checkpoint(seq uint64) error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return errors.New("journal: closed")
+	}
+	if j.werr != nil {
+		err := j.werr
+		j.mu.Unlock()
+		return fmt.Errorf("journal: previous write failed: %w", err)
+	}
+	p := &pending{barrier: true, checkpoint: true, ckptSeq: seq, done: make(chan error, 1)}
+	j.queue = append(j.queue, p)
+	j.mu.Unlock()
+	j.cond.Signal()
+	return <-p.done
 }
 
 // Append submits the record and waits for durability — the convenience
@@ -515,10 +683,37 @@ func (j *Journal) writer() {
 				j.werr = err
 				j.mu.Unlock()
 			}
-			for _, p := range batch {
-				p.done <- err
-			}
+			// Checkpoints in the batch take effect only after the batch
+			// itself is durable; the retained-set truncation plus a forced
+			// rewrite is what shrinks the file. The rewrite outcome is
+			// reported to the checkpoint waiters alone — record waiters
+			// only care that their frames are durable.
+			var ckptErr error
+			hasCkpt := false
 			if err == nil {
+				for _, p := range batch {
+					if p.checkpoint {
+						hasCkpt = true
+						j.applyCheckpoint(p.ckptSeq)
+					}
+				}
+				if hasCkpt {
+					if ckptErr = j.compact(); ckptErr != nil {
+						j.compactFailures.Add(1)
+					} else {
+						j.compactions.Add(1)
+					}
+					j.publishCounters()
+				}
+			}
+			for _, p := range batch {
+				if p.checkpoint && err == nil {
+					p.done <- ckptErr
+				} else {
+					p.done <- err
+				}
+			}
+			if err == nil && !hasCkpt {
 				j.maybeCompact()
 			}
 		}
@@ -576,7 +771,7 @@ func (j *Journal) writeBatch(batch []*pending) error {
 		}
 		j.size += int64(frameOverhead + len(p.payload))
 		j.total++
-		j.applyLive(Record{Op: p.op, Seq: p.seq, User: p.user}, p.payload)
+		j.applyLive(Record{Op: p.op, Seq: p.seq, User: p.user, Preserved: p.preserved}, p.payload)
 	}
 	if records > 0 {
 		j.appends.Add(int64(records))
@@ -590,14 +785,37 @@ func (j *Journal) writeBatch(batch []*pending) error {
 	return nil
 }
 
-// maybeCompact rewrites the journal from the live map when dead records
-// dominate (writer goroutine only). The rewrite goes to a temporary file
-// that is fully written and fsynced before being renamed over the
-// journal, so a crash at any instant leaves either the old complete file
-// or the new complete file — never a mix.
+// applyCheckpoint retires vocabulary records covered by a checkpoint at
+// seq (writer goroutine only). Exempt entries — Preserved records and
+// unknown ops, whose effect the snapshot cannot contain — are kept.
+func (j *Journal) applyCheckpoint(seq uint64) {
+	if seq > j.ckpt {
+		j.ckpt = seq
+	}
+	kept := j.vocab[:0]
+	var vb int64
+	for _, e := range j.vocab {
+		if !e.exempt && e.seq <= j.ckpt {
+			continue
+		}
+		kept = append(kept, e)
+		vb += int64(frameOverhead + len(e.payload))
+	}
+	j.vocab = kept
+	j.vbytes = vb
+	j.ckptSeq.Store(j.ckpt)
+}
+
+// maybeCompact rewrites the journal from the retained records (live
+// session map + vocabulary records not yet covered by a checkpoint) when
+// dead records dominate (writer goroutine only). The rewrite goes to a
+// temporary file that is fully written and fsynced before being renamed
+// over the journal, so a crash at any instant leaves either the old
+// complete file or the new complete file — never a mix.
 func (j *Journal) maybeCompact() {
-	dead := j.total - len(j.live)
-	if j.total < j.opts.CompactMinRecords || dead <= len(j.live) {
+	retained := len(j.live) + len(j.vocab)
+	dead := j.total - retained
+	if j.total < j.opts.CompactMinRecords || dead <= retained {
 		return
 	}
 	if err := j.compact(); err != nil {
@@ -615,12 +833,16 @@ func (j *Journal) maybeCompact() {
 }
 
 func (j *Journal) compact() error {
-	entries := make([]liveEntry, 0, len(j.live))
+	entries := make([]liveEntry, 0, len(j.live)+len(j.vocab))
 	for _, e := range j.live {
 		entries = append(entries, e)
 	}
-	// Original submit order: replay after compaction applies users in the
-	// same relative order as the uncompacted file would have.
+	for _, e := range j.vocab {
+		entries = append(entries, liveEntry{seq: e.seq, payload: e.payload})
+	}
+	// Original submit order: replay after compaction applies records in
+	// the same relative order as the uncompacted file would have —
+	// session and vocabulary records interleave exactly as acknowledged.
 	sort.Slice(entries, func(a, b int) bool { return entries[a].seq < entries[b].seq })
 
 	tmpPath := j.path + ".compact"
@@ -727,13 +949,25 @@ func (j *Journal) Close() error {
 type ReplayStats struct {
 	// Records is how many valid records were read.
 	Records int
-	// Sets / Drops break Records down by operation.
-	Sets  int
-	Drops int
+	// Sets / Drops / Declares / Asserts / RuleAdds / RuleRemoves / Execs
+	// break Records down by operation (unknown ops count only in Records).
+	Sets        int
+	Drops       int
+	Declares    int
+	Asserts     int
+	RuleAdds    int
+	RuleRemoves int
+	Execs       int
 	// Torn is true when the file ended in an incomplete or corrupt frame;
 	// TornBytes is how many trailing bytes were discarded.
 	Torn      bool
 	TornBytes int64
+}
+
+// Vocab is the number of replayed vocabulary records (everything that is
+// not a session op).
+func (rs ReplayStats) Vocab() int {
+	return rs.Declares + rs.Asserts + rs.RuleAdds + rs.RuleRemoves + rs.Execs
 }
 
 // Replay reads the journal at path and calls fn for every valid record in
@@ -832,6 +1066,16 @@ func scan(f *os.File, fn func(rec Record, payload []byte)) (validEnd int64, stat
 			stats.Sets++
 		case OpDrop:
 			stats.Drops++
+		case OpDeclare:
+			stats.Declares++
+		case OpAssert:
+			stats.Asserts++
+		case OpAddRules:
+			stats.RuleAdds++
+		case OpRemoveRule:
+			stats.RuleRemoves++
+		case OpExec:
+			stats.Execs++
 		}
 		fn(rec, payload)
 	}

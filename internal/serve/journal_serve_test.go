@@ -22,8 +22,11 @@ func attachTestJournal(t *testing.T, srv *Server, opts journal.Options) string {
 	return path
 }
 
-// replayInto re-applies a WAL through a server's ordinary session path —
-// the unsharded equivalent of shard.Coordinator.RecoverSessions' replay.
+// replayInto re-applies a WAL through a server's ordinary serving paths —
+// the unsharded equivalent of shard.Coordinator.Recover's replay.
+// Vocabulary records whose re-apply fails are skipped, mirroring the
+// recovery path's preserve-and-continue policy (a second replay pass over
+// the same WAL hits duplicate-declare style errors by design).
 func replayInto(t *testing.T, srv *Server, path string) journal.ReplayStats {
 	t.Helper()
 	rs, err := journal.Replay(path, func(rec journal.Record) error {
@@ -38,6 +41,28 @@ func replayInto(t *testing.T, srv *Server, path string) journal.ReplayStats {
 			}
 		case journal.OpDrop:
 			return srv.DropSession(rec.User)
+		case journal.OpDeclare:
+			subs := make([]SubConceptDecl, len(rec.Subs))
+			for i, sd := range rec.Subs {
+				subs[i] = SubConceptDecl{Sub: sd.Sub, Super: sd.Super}
+			}
+			srv.Declare(rec.Concepts, rec.Roles, subs) //nolint:errcheck // preserve-and-continue
+		case journal.OpAssert:
+			concepts := make([]ConceptAssertion, len(rec.ConceptAsserts))
+			for i, a := range rec.ConceptAsserts {
+				concepts[i] = ConceptAssertion{Concept: a.Concept, ID: a.ID, Prob: a.Prob}
+			}
+			roles := make([]RoleAssertion, len(rec.RoleAsserts))
+			for i, a := range rec.RoleAsserts {
+				roles[i] = RoleAssertion{Role: a.Role, Src: a.Src, Dst: a.Dst, Prob: a.Prob}
+			}
+			srv.Assert(concepts, roles) //nolint:errcheck // preserve-and-continue
+		case journal.OpAddRules:
+			srv.AddRules(rec.Rules) //nolint:errcheck // preserve-and-continue
+		case journal.OpRemoveRule:
+			srv.RemoveRule(rec.Rule) //nolint:errcheck // preserve-and-continue
+		case journal.OpExec:
+			srv.Exec(rec.Stmt) //nolint:errcheck // preserve-and-continue
 		}
 		return nil
 	})
@@ -57,6 +82,17 @@ func replayInto(t *testing.T, srv *Server, path string) journal.ReplayStats {
 func TestJournalReplayIdempotence(t *testing.T) {
 	src := NewServer(newTestSystem(t), Options{})
 	path := attachTestJournal(t, src, journal.Options{})
+	// Vocabulary mutations interleave with the session churn: the WAL is a
+	// mixed stream, and replay must apply each kind through its own path.
+	if _, err := src.Declare([]string{"CtxNew"}, []string{"watchedBy"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Assert([]ConceptAssertion{{Concept: "CtxNew", ID: "n0", Prob: 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := src.AddRules([]string{"RULE rNew WHEN CtxNew PREFER TvProgram AND EXISTS hasGenre.{g0} WITH 0.7"}); err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 20; i++ {
 		// ghost churns through many Sets before leaving — all stale.
 		if _, err := src.Sessions().Set("ghost", []Measurement{{Concept: "CtxA", Prob: float64(i%10) / 10}}); err != nil {
@@ -80,11 +116,18 @@ func TestJournalReplayIdempotence(t *testing.T) {
 
 	dst := NewServer(newTestSystem(t), Options{})
 	baseline := dst.Stats().Events
+	wantRules := dst.Stats().Rules + 1 // the replayed rNew
 	check := func(pass int) {
 		t.Helper()
 		st := dst.Stats()
 		if st.Sessions != 2 {
 			t.Fatalf("pass %d: %d sessions, want 2", pass, st.Sessions)
+		}
+		// Vocabulary idempotence: later passes hit duplicate-declare and
+		// duplicate-rule errors, which replay skips — the rule count must
+		// not drift.
+		if st.Rules != wantRules {
+			t.Fatalf("pass %d: %d rules, want %d", pass, st.Rules, wantRules)
 		}
 		if _, ok := dst.Sessions().Measurements("ghost"); ok {
 			t.Fatalf("pass %d: dropped user resurrected", pass)
@@ -103,8 +146,11 @@ func TestJournalReplayIdempotence(t *testing.T) {
 	}
 	for pass := 1; pass <= 3; pass++ {
 		rs := replayInto(t, dst, path)
-		if rs.Records != 23 || rs.Torn {
-			t.Fatalf("pass %d: replay stats %+v, want 23 clean records", pass, rs)
+		if rs.Records != 26 || rs.Torn {
+			t.Fatalf("pass %d: replay stats %+v, want 26 clean records", pass, rs)
+		}
+		if rs.Declares != 1 || rs.Asserts != 1 || rs.RuleAdds != 1 {
+			t.Fatalf("pass %d: vocabulary records miscounted: %+v", pass, rs)
 		}
 		check(pass)
 	}

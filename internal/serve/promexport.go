@@ -59,6 +59,32 @@ func RegisterBackendMetrics(reg *metrics.Registry, b Backend) {
 
 		exportJournal(w, shards)
 
+		if st.Checkpoints != nil {
+			w.Family("carserve_checkpoints_total", "counter", "Completed background checkpoints.")
+			w.Sample("carserve_checkpoints_total", float64(st.Checkpoints.Count))
+			w.Family("carserve_checkpoint_failures_total", "counter", "Failed background checkpoint attempts.")
+			w.Sample("carserve_checkpoint_failures_total", float64(st.Checkpoints.Failures))
+			w.Family("carserve_checkpoint_last_unixtime", "gauge", "Completion time of the last successful checkpoint.")
+			w.Sample("carserve_checkpoint_last_unixtime", float64(st.Checkpoints.LastUnix))
+			w.Family("carserve_checkpoint_last_duration_seconds", "gauge", "Wall time of the last successful checkpoint.")
+			w.Sample("carserve_checkpoint_last_duration_seconds", st.Checkpoints.LastDurationMicros/1e6)
+			w.Family("carserve_checkpoint_last_seq", "gauge", "Highest journal sequence the last checkpoint covered.")
+			w.Sample("carserve_checkpoint_last_seq", float64(st.Checkpoints.LastSeq))
+		}
+
+		if st.Recovery != nil {
+			w.Family("carserve_recovery_records_total", "counter", "WAL records read during boot-time recovery.")
+			w.Sample("carserve_recovery_records_total", float64(st.Recovery.Records))
+			w.Family("carserve_recovery_applied_total", "counter", "Recovery records re-applied, by kind.")
+			w.Sample("carserve_recovery_applied_total", float64(st.Recovery.Users), "kind", "session")
+			w.Sample("carserve_recovery_applied_total", float64(st.Recovery.VocabApplied()), "kind", "vocab")
+			w.Family("carserve_recovery_skipped_total", "counter", "Recovery records skipped, by reason.")
+			w.Sample("carserve_recovery_skipped_total", float64(st.Recovery.SkippedCheckpoint), "reason", "checkpoint_covered")
+			w.Sample("carserve_recovery_skipped_total", float64(st.Recovery.SkippedDuplicate), "reason", "duplicate_broadcast")
+			w.Family("carserve_recovery_failed_total", "counter", "Recovery records whose re-apply failed (preserved in the WAL).")
+			w.Sample("carserve_recovery_failed_total", float64(st.Recovery.Failed))
+		}
+
 		if st.Broadcast != nil {
 			w.Family("carserve_broadcast_writes_total", "counter", "Cross-shard vocabulary broadcasts.")
 			w.Sample("carserve_broadcast_writes_total", float64(st.Broadcast.Writes))
@@ -135,6 +161,24 @@ func exportJournal(w *metrics.Writer, shards []Stats) {
 	for i, s := range shards {
 		if s.Journal != nil {
 			w.Sample("carserve_journal_live_records", float64(s.Journal.LiveRecords), "shard", strconv.Itoa(i))
+		}
+	}
+	w.Family("carserve_journal_vocab_records", "gauge", "Vocabulary records awaiting a checkpoint.")
+	for i, s := range shards {
+		if s.Journal != nil {
+			w.Sample("carserve_journal_vocab_records", float64(s.Journal.VocabRecords), "shard", strconv.Itoa(i))
+		}
+	}
+	w.Family("carserve_journal_vocab_bytes", "gauge", "WAL bytes of vocabulary records since the last checkpoint (the size trigger's input).")
+	for i, s := range shards {
+		if s.Journal != nil {
+			w.Sample("carserve_journal_vocab_bytes", float64(s.Journal.VocabBytes), "shard", strconv.Itoa(i))
+		}
+	}
+	w.Family("carserve_journal_checkpoint_seq", "gauge", "Highest journal sequence covered by a checkpoint.")
+	for i, s := range shards {
+		if s.Journal != nil {
+			w.Sample("carserve_journal_checkpoint_seq", float64(s.Journal.CheckpointSeq), "shard", strconv.Itoa(i))
 		}
 	}
 

@@ -122,11 +122,16 @@ func (s *Server) Facade() *Facade { return s.facade }
 // Sessions returns the per-user session manager.
 func (s *Server) Sessions() *Sessions { return s.sessions }
 
-// AttachJournal arms the session write-ahead log (see Sessions
-// AttachJournal): acknowledged session updates then survive a crash via
-// boot-time replay. The server does not own the journal's lifecycle; the
-// caller (shard.Coordinator.RecoverSessions, or a test) closes it.
+// AttachJournal arms the write-ahead log (see Sessions.AttachJournal):
+// every acknowledged mutation — session updates AND vocabulary/data
+// writes (Declare/Assert/AddRules/RemoveRule/Exec) — is then fsynced to
+// the journal inside the critical section that applied it, before the
+// acknowledgement. The server does not own the journal's lifecycle; the
+// caller (shard.Coordinator.Recover, or a test) closes it.
 func (s *Server) AttachJournal(j *journal.Journal) { s.sessions.AttachJournal(j) }
+
+// Journal returns the attached WAL, or nil.
+func (s *Server) Journal() *journal.Journal { return s.sessions.Journal() }
 
 // RankMeta describes how a Rank call was served.
 type RankMeta struct {
@@ -387,26 +392,76 @@ func (s *Server) RankBatch(user string, alg contextrank.Algorithm, items []RankI
 
 // --- Backend write/read operations -----------------------------------------
 
+// finishJournal completes a mutator's journal handoff after the facade
+// lock is released: the wait function (from a Submit made inside the
+// write critical section) blocks until the record's group commit is
+// fsynced, so concurrent mutators share one sync. An apply error wins —
+// the client saw no acknowledgement, so durability of the partial prefix
+// is best-effort. A journal error on a successful apply is surfaced as
+// "applied but not journaled": the state changed in memory but the
+// caller must not treat it as durable.
+func finishJournal(opErr error, wait func() error, what string) error {
+	if wait == nil {
+		return opErr
+	}
+	jerr := wait()
+	if opErr != nil {
+		return opErr
+	}
+	if jerr != nil {
+		return fmt.Errorf("serve: %s applied but not journaled: %w", what, jerr)
+	}
+	return nil
+}
+
 // Declare registers concepts, roles and subconcept axioms in one epoch.
 func (s *Server) Declare(concepts, roles []string, subs []SubConceptDecl) (int64, error) {
-	return s.facade.WithWriteEpoch(func(sys *contextrank.System) error {
-		if len(concepts) > 0 {
-			if err := sys.DeclareConcept(concepts...); err != nil {
-				return err
+	return s.DeclareTagged(0, concepts, roles, subs)
+}
+
+// DeclareTagged is Declare carrying a broadcast id (the shard coordinator
+// tags each broadcast write so every shard journals the same record with
+// the same BID; see journal.Record.BID). Items are applied one at a time
+// and the journal record holds exactly the applied prefix: on a mid-list
+// error the items already applied stay applied (the established
+// partial-mutation policy) and stay durable, while the failed item is
+// neither applied nor journaled — replay never re-fails.
+func (s *Server) DeclareTagged(bid uint64, concepts, roles []string, subs []SubConceptDecl) (int64, error) {
+	var wait func() error
+	epoch, err := s.facade.WithWriteEpoch(func(sys *contextrank.System) error {
+		rec := journal.Record{Op: journal.OpDeclare, BID: bid}
+		var opErr error
+		for _, c := range concepts {
+			if opErr = sys.DeclareConcept(c); opErr != nil {
+				break
+			}
+			rec.Concepts = append(rec.Concepts, c)
+		}
+		if opErr == nil {
+			for _, r := range roles {
+				if opErr = sys.DeclareRole(r); opErr != nil {
+					break
+				}
+				rec.Roles = append(rec.Roles, r)
 			}
 		}
-		if len(roles) > 0 {
-			if err := sys.DeclareRole(roles...); err != nil {
-				return err
+		if opErr == nil {
+			for _, sc := range subs {
+				if opErr = sys.SubConcept(sc.Sub, sc.Super); opErr != nil {
+					break
+				}
+				rec.Subs = append(rec.Subs, journal.SubDecl{Sub: sc.Sub, Super: sc.Super})
 			}
 		}
-		for _, sc := range subs {
-			if err := sys.SubConcept(sc.Sub, sc.Super); err != nil {
-				return err
+		if len(rec.Concepts)+len(rec.Roles)+len(rec.Subs) > 0 {
+			if j := s.sessions.Journal(); j != nil {
+				rec.Epoch = s.facade.Epoch()
+				wait = j.Submit(rec)
 			}
 		}
-		return nil
+		return opErr
 	})
+	return epoch, finishJournal(err, wait, "declare")
 }
 
 // Assert adds concept and role assertions in one epoch. Concepts that are
@@ -415,23 +470,44 @@ func (s *Server) Declare(concepts, roles []string, subs []SubConceptDecl) (int64
 // section, where session applies also hold the lock, so there is no TOCTOU
 // window).
 func (s *Server) Assert(concepts []ConceptAssertion, roles []RoleAssertion) (int64, error) {
-	return s.facade.WithWriteEpoch(func(sys *contextrank.System) error {
+	return s.AssertTagged(0, concepts, roles)
+}
+
+// AssertTagged is Assert carrying a broadcast id; see DeclareTagged for
+// the BID and applied-prefix journaling contract.
+func (s *Server) AssertTagged(bid uint64, concepts []ConceptAssertion, roles []RoleAssertion) (int64, error) {
+	var wait func() error
+	epoch, err := s.facade.WithWriteEpoch(func(sys *contextrank.System) error {
+		rec := journal.Record{Op: journal.OpAssert, BID: bid}
+		var opErr error
 		for _, a := range concepts {
 			if s.sessions.IsSessionConcept(a.Concept) {
-				return fmt.Errorf(
+				opErr = fmt.Errorf(
 					"serve: concept %q is session-context vocabulary; the next context apply would clear the assertion — manage it via /v1/sessions instead", a.Concept)
+				break
 			}
-			if err := sys.AssertConcept(a.Concept, a.ID, a.Prob); err != nil {
-				return err
+			if opErr = sys.AssertConcept(a.Concept, a.ID, a.Prob); opErr != nil {
+				break
+			}
+			rec.ConceptAsserts = append(rec.ConceptAsserts, journal.ConceptAssert{Concept: a.Concept, ID: a.ID, Prob: a.Prob})
+		}
+		if opErr == nil {
+			for _, a := range roles {
+				if opErr = sys.AssertRole(a.Role, a.Src, a.Dst, a.Prob); opErr != nil {
+					break
+				}
+				rec.RoleAsserts = append(rec.RoleAsserts, journal.RoleAssert{Role: a.Role, Src: a.Src, Dst: a.Dst, Prob: a.Prob})
 			}
 		}
-		for _, a := range roles {
-			if err := sys.AssertRole(a.Role, a.Src, a.Dst, a.Prob); err != nil {
-				return err
+		if len(rec.ConceptAsserts)+len(rec.RoleAsserts) > 0 {
+			if j := s.sessions.Journal(); j != nil {
+				rec.Epoch = s.facade.Epoch()
+				wait = j.Submit(rec)
 			}
 		}
-		return nil
+		return opErr
 	})
+	return epoch, finishJournal(err, wait, "assert")
 }
 
 // Rules snapshots the registered preference rules.
@@ -439,27 +515,59 @@ func (s *Server) Rules() []contextrank.Rule { return s.facade.Rules() }
 
 // AddRules parses and registers rules, returning the added names. On error
 // the names added before the failure stay registered (matching the facade's
-// partial-mutation policy; the epoch bump invalidates cached rankings).
+// partial-mutation policy; the epoch bump invalidates cached rankings) —
+// and, with a journal attached, stay durable: the record holds exactly the
+// applied prefix of rule texts.
 func (s *Server) AddRules(texts []string) ([]string, int64, error) {
+	return s.AddRulesTagged(0, texts)
+}
+
+// AddRulesTagged is AddRules carrying a broadcast id; see DeclareTagged.
+func (s *Server) AddRulesTagged(bid uint64, texts []string) ([]string, int64, error) {
 	var added []string
+	var wait func() error
 	epoch, err := s.facade.WithWriteEpoch(func(sys *contextrank.System) error {
+		rec := journal.Record{Op: journal.OpAddRules, BID: bid}
+		var opErr error
 		for _, text := range texts {
-			rule, err := sys.AddRule(text)
-			if err != nil {
-				return err
+			rule, aerr := sys.AddRule(text)
+			if aerr != nil {
+				opErr = aerr
+				break
 			}
 			added = append(added, rule.Name)
+			rec.Rules = append(rec.Rules, text)
+		}
+		if len(rec.Rules) > 0 {
+			if j := s.sessions.Journal(); j != nil {
+				rec.Epoch = s.facade.Epoch()
+				wait = j.Submit(rec)
+			}
+		}
+		return opErr
+	})
+	return added, epoch, finishJournal(err, wait, "add rules")
+}
+
+// RemoveRule deletes a rule by name. The removal is journaled on success
+// only — a failed remove mutated nothing.
+func (s *Server) RemoveRule(name string) (int64, error) {
+	return s.RemoveRuleTagged(0, name)
+}
+
+// RemoveRuleTagged is RemoveRule carrying a broadcast id; see DeclareTagged.
+func (s *Server) RemoveRuleTagged(bid uint64, name string) (int64, error) {
+	var wait func() error
+	epoch, err := s.facade.WithWriteEpoch(func(sys *contextrank.System) error {
+		if rerr := sys.Rules().Remove(name); rerr != nil {
+			return rerr
+		}
+		if j := s.sessions.Journal(); j != nil {
+			wait = j.Submit(journal.Record{Op: journal.OpRemoveRule, BID: bid, Rule: name, Epoch: s.facade.Epoch()})
 		}
 		return nil
 	})
-	return added, epoch, err
-}
-
-// RemoveRule deletes a rule by name.
-func (s *Server) RemoveRule(name string) (int64, error) {
-	return s.facade.WithWriteEpoch(func(sys *contextrank.System) error {
-		return sys.Rules().Remove(name)
-	})
+	return epoch, finishJournal(err, wait, "rule removal")
 }
 
 // SetSession replaces the user's session context.
@@ -480,15 +588,31 @@ func (s *Server) Query(stmt string) (*contextrank.QueryResult, error) {
 	return s.facade.Query(stmt)
 }
 
-// Exec runs a mutating SQL statement, returning the new epoch.
+// Exec runs a mutating SQL statement, returning the new epoch. The
+// statement is journaled on success only: a failed statement's partial
+// effects (if any) are not re-created by replay — they are also the one
+// divergence a checkpoint can capture that the WAL does not, which is
+// acceptable because the client was told the statement failed.
 func (s *Server) Exec(stmt string) (*contextrank.QueryResult, int64, error) {
+	return s.ExecTagged(0, stmt)
+}
+
+// ExecTagged is Exec carrying a broadcast id; see DeclareTagged.
+func (s *Server) ExecTagged(bid uint64, stmt string) (*contextrank.QueryResult, int64, error) {
 	var res *contextrank.QueryResult
+	var wait func() error
 	epoch, err := s.facade.WithWriteEpoch(func(sys *contextrank.System) error {
 		r, rerr := sys.Exec(stmt)
 		res = r
-		return rerr
+		if rerr != nil {
+			return rerr
+		}
+		if j := s.sessions.Journal(); j != nil {
+			wait = j.Submit(journal.Record{Op: journal.OpExec, BID: bid, Stmt: stmt, Epoch: s.facade.Epoch()})
+		}
+		return nil
 	})
-	return res, epoch, err
+	return res, epoch, finishJournal(err, wait, "exec")
 }
 
 // SaveSnapshot dumps the wrapped system as JSON to w with the merged
@@ -497,9 +621,26 @@ func (s *Server) Exec(stmt string) (*contextrank.QueryResult, int64, error) {
 // a server restored from it accepts session applies immediately. The dump
 // runs under the write lock — a consistent cut — and bumps the epoch.
 func (s *Server) SaveSnapshot(w io.Writer) error {
-	return s.sessions.SuspendAndDump(func(sys *contextrank.System) error {
+	_, err := s.CheckpointDump(w)
+	return err
+}
+
+// CheckpointDump is SaveSnapshot returning the journal sequence number
+// the snapshot covers: every record with Seq <= the returned value is
+// reflected in the dump, every later record is not. The capture is exact
+// because SuspendAndDump holds both the session mutex and the facade
+// write lock across fn, and every journal Submit happens under the facade
+// write lock — no record can land between the cut and the dump. A server
+// without a journal returns seq 0.
+func (s *Server) CheckpointDump(w io.Writer) (uint64, error) {
+	var seq uint64
+	err := s.sessions.SuspendAndDump(func(sys *contextrank.System) error {
+		if j := s.sessions.Journal(); j != nil {
+			seq = j.Seq()
+		}
 		return sys.SaveSnapshot(w)
 	})
+	return seq, err
 }
 
 // --- statistics ------------------------------------------------------------
@@ -523,10 +664,17 @@ type Stats struct {
 	// that user ranks at that state.
 	Plans   CacheStats   `json:"plan_cache"`
 	Latency LatencyStats `json:"latency"`
-	// Journal is the session write-ahead log (appends, group-commit
-	// batches, fsyncs, compactions, live/total records); nil when the
-	// server runs without session durability.
+	// Journal is the write-ahead log (appends, group-commit batches,
+	// fsyncs, compactions, live/vocab/total records, bytes since the last
+	// checkpoint); nil when the server runs without durability.
 	Journal *journal.Stats `json:"journal,omitempty"`
+	// Checkpoints describes background checkpoint activity; only a
+	// backend with a checkpointer running fills it (aggregate only, not
+	// per shard).
+	Checkpoints *CheckpointStats `json:"checkpoints,omitempty"`
+	// Recovery describes what boot-time WAL replay restored; filled once
+	// at boot by shard.Coordinator.Recover (aggregate only).
+	Recovery *RecoveryStats `json:"recovery,omitempty"`
 	// Broadcast describes cross-shard vocabulary writes; only a sharded
 	// backend fills it.
 	Broadcast *BroadcastStats `json:"broadcast,omitempty"`
@@ -546,6 +694,68 @@ type BroadcastStats struct {
 	Writes     int64   `json:"writes"`
 	MeanMicros float64 `json:"mean_us"`
 	MaxMicros  float64 `json:"max_us"`
+}
+
+// CheckpointStats describes background checkpoint activity: full-state
+// snapshots that truncate the WAL (see shard.Coordinator.Checkpoint).
+type CheckpointStats struct {
+	// Count / Failures count completed and failed checkpoint attempts.
+	Count    int64 `json:"count"`
+	Failures int64 `json:"failures"`
+	// LastUnix is when the last successful checkpoint finished (unix
+	// seconds; 0 before the first).
+	LastUnix int64 `json:"last_unix,omitempty"`
+	// LastDurationMicros is the wall time of the last successful
+	// checkpoint (suspend + dump + rename + WAL truncation).
+	LastDurationMicros float64 `json:"last_duration_us,omitempty"`
+	// LastSeq is the highest per-shard journal sequence the last
+	// checkpoint covered (max across shards).
+	LastSeq uint64 `json:"last_seq,omitempty"`
+}
+
+// RecoveryStats describes what a boot-time WAL replay restored. The
+// per-op counts are applied records; Skipped* are records correctly not
+// applied (already covered by the restored checkpoint, or a broadcast
+// duplicate of a record another shard's WAL already replayed).
+type RecoveryStats struct {
+	// Files is how many journal files were replayed.
+	Files int `json:"files"`
+	// Records is the total records read across those files.
+	Records int `json:"records"`
+	// Users is the number of live sessions restored; Drops counts
+	// journaled session drops replayed.
+	Users int `json:"users"`
+	Drops int `json:"drops"`
+	// Declares/Asserts/RuleAdds/RuleRemoves/Execs count vocabulary
+	// records applied through the broadcast path.
+	Declares    int `json:"declares"`
+	Asserts     int `json:"asserts"`
+	RuleAdds    int `json:"rule_adds"`
+	RuleRemoves int `json:"rule_removes"`
+	Execs       int `json:"execs"`
+	// SkippedCheckpoint counts vocabulary records whose effect the
+	// restored snapshot already contained (Seq <= the manifest's
+	// checkpoint_seq for that shard, same journal generation).
+	SkippedCheckpoint int `json:"skipped_checkpoint"`
+	// SkippedDuplicate counts broadcast records deduplicated by BID —
+	// every shard's WAL holds a copy; exactly one is applied.
+	SkippedDuplicate int `json:"skipped_duplicate"`
+	// Failed counts records whose re-apply errored; they are preserved in
+	// the new journal generation (marked checkpoint-exempt) instead of
+	// being dropped.
+	Failed int `json:"failed"`
+	// BadFiles counts journal files skipped wholesale (bad magic /
+	// unreadable); TornFiles counts files that ended in a torn tail.
+	BadFiles  int `json:"bad_files"`
+	TornFiles int `json:"torn_files"`
+	// FingerprintMismatches counts replayed sessions whose recomputed
+	// fingerprint differed from the journaled one (should be zero).
+	FingerprintMismatches int `json:"fingerprint_mismatches"`
+}
+
+// VocabApplied is the number of vocabulary records applied during replay.
+func (rs RecoveryStats) VocabApplied() int {
+	return rs.Declares + rs.Asserts + rs.RuleAdds + rs.RuleRemoves + rs.Execs
 }
 
 // Stats snapshots the server counters. The collection path is lock-free:

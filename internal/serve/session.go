@@ -195,7 +195,13 @@ func (s *Sessions) setValidated(user string, measurements []Measurement) (string
 	// Refresh the lock-free count mirror after the map settles (including
 	// the rollback below); runs while s.mu is still held.
 	defer func() { s.count.Store(int64(len(s.users))) }()
-	if err := s.applyMergedLocked(changed); err != nil {
+	// Apply and journal inside one facade write critical section: every
+	// mutation — session or vocabulary — submits its record while holding
+	// f.mu, so the journal's total order is exactly the apply order across
+	// both kinds of writes.
+	f := s.f
+	f.mu.Lock()
+	if err := s.applyMergedFacadeLocked(changed); err != nil {
 		// Roll back the bookkeeping, then best-effort re-apply the
 		// previous state: a failed apply may have cleared other users'
 		// context assertions before erroring, and without the restore
@@ -211,8 +217,9 @@ func (s *Sessions) setValidated(user string, measurements []Measurement) (string
 		} else {
 			delete(s.users, user)
 		}
-		_ = s.applyMergedLocked(changed)
-		s.f.bumpEpoch()
+		_ = s.applyMergedFacadeLocked(changed)
+		f.epoch.Add(1)
+		f.mu.Unlock()
 		return "", nil, err
 	}
 	var wait func() error
@@ -222,9 +229,10 @@ func (s *Sessions) setValidated(user string, measurements []Measurement) (string
 			User:         user,
 			Measurements: ToJournalMeasurements(ms),
 			Fingerprint:  sess.fingerprint,
-			Epoch:        s.f.Epoch(),
+			Epoch:        f.Epoch(),
 		})
 	}
+	f.mu.Unlock()
 	return sess.fingerprint, wait, nil
 }
 
@@ -271,12 +279,16 @@ func (s *Sessions) dropLocked(user string) (func() error, error) {
 	}
 	delete(s.users, user)
 	defer func() { s.count.Store(int64(len(s.users))) }() // before the s.mu unlock
-	if err := s.applyMergedLocked(changed); err != nil {
+	// Same apply+submit-in-one-critical-section discipline as setValidated.
+	f := s.f
+	f.mu.Lock()
+	if err := s.applyMergedFacadeLocked(changed); err != nil {
 		// Same restore-and-bump policy as Set: the drop did not take
 		// effect, and anything cached during the torn window dies.
 		s.users[user] = sess
-		_ = s.applyMergedLocked(changed)
-		s.f.bumpEpoch()
+		_ = s.applyMergedFacadeLocked(changed)
+		f.epoch.Add(1)
+		f.mu.Unlock()
 		return nil, err
 	}
 	var wait func() error
@@ -284,9 +296,10 @@ func (s *Sessions) dropLocked(user string) (func() error, error) {
 		wait = j.Submit(journal.Record{
 			Op:    journal.OpDrop,
 			User:  user,
-			Epoch: s.f.Epoch(),
+			Epoch: f.Epoch(),
 		})
 	}
+	f.mu.Unlock()
 	return wait, nil
 }
 
@@ -364,32 +377,25 @@ func (s *Sessions) Count() int {
 	return int(s.count.Load())
 }
 
-// applyMergedLocked builds one situation snapshot from every live session
-// and applies it under the facade's write lock. The apply retracts the
-// previous merged snapshot and retires its basic events (see
-// situation.Context.Apply), so sessions that shrank or dropped since the
-// last apply leave nothing behind in the event space. changed names the concepts
-// whose assertions this operation adds, alters or retracts (the updated
-// user's old and new vocabulary) — used to decide whether the update
-// couples to other users through role edges. Callers hold s.mu; the lock
-// order is always s.mu before facade.mu, and the rank path never takes
-// s.mu while holding the facade lock (it uses AppliedFingerprint).
-func (s *Sessions) applyMergedLocked(changed map[string]bool) error {
-	f := s.f
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return s.applyMergedFacadeLocked(changed)
-}
-
 // ContextEpoch returns the merged-apply counter. Two reads under the same
 // facade read lock return the same value; a compiled rank plan is valid
 // exactly while (facade epoch, context epoch) both match its compile-time
 // values.
 func (s *Sessions) ContextEpoch() int64 { return s.ctxEpoch.Load() }
 
-// applyMergedFacadeLocked is applyMergedLocked's body for callers that
-// already hold the facade write lock (SuspendAndDump runs it inside the
-// same critical section as the retraction and the dump).
+// applyMergedFacadeLocked builds one situation snapshot from every live
+// session and applies it. The apply retracts the previous merged snapshot
+// and retires its basic events (see situation.Context.Apply), so sessions
+// that shrank or dropped since the last apply leave nothing behind in the
+// event space. changed names the concepts whose assertions this operation
+// adds, alters or retracts (the updated user's old and new vocabulary) —
+// used to decide whether the update couples to other users through role
+// edges. Callers hold s.mu AND the facade write lock (setValidated and
+// dropLocked inline the facade lock so the journal submit lands in the
+// same critical section as the apply; SuspendAndDump runs it inside the
+// same critical section as the retraction and the dump). The lock order
+// is always s.mu before facade.mu, and the rank path never takes s.mu
+// while holding the facade lock (it uses AppliedFingerprint).
 func (s *Sessions) applyMergedFacadeLocked(changed map[string]bool) error {
 	// The apply below retires the previous snapshot's basic events, so any
 	// plan compiled before this point is dead even if the apply fails

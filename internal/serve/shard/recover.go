@@ -36,62 +36,44 @@ func journalFile(dir, gen string, i int) string {
 	return filepath.Join(dir, fmt.Sprintf("sessions-%s-%03d.wal", gen, i))
 }
 
-// RecoveryStats describes a boot-time session recovery: how much of the
-// previous incarnation's journaled state came back, and how.
-type RecoveryStats struct {
-	// Files is how many previous-generation journal files were read.
-	Files int
-	// Records is the total valid records replayed (sets + drops).
-	Records int
-	// Users is the number of distinct users with a live session after the
-	// replay (sets applied minus drops).
-	Users int
-	// Drops counts replayed drop records.
-	Drops int
-	// Failed counts records whose re-apply errored (e.g. vocabulary
-	// missing from the restored snapshot); replay continues past them,
-	// and the raw records are preserved in the new generation so a later
-	// boot — perhaps after the missing vocabulary is restored — can retry
-	// instead of losing the only copy to the stale-file cleanup.
-	Failed int
-	// BadFiles counts previous-generation files rejected outright (e.g.
-	// an overwritten header). Nothing in such a file is salvageable, but
-	// one corrupt file must not brick every subsequent boot: recovery
-	// counts it and carries on with the remaining shards' journals.
-	BadFiles int
-	// FingerprintMismatches counts sets whose recomputed fingerprint
-	// differed from the journaled one — always zero unless the
-	// fingerprint function changed between incarnations.
-	FingerprintMismatches int
-	// TornFiles counts files that ended in a torn or corrupt tail (the
-	// valid prefix was still replayed).
-	TornFiles int
-}
+// RecoveryStats describes a boot-time recovery: how much of the previous
+// incarnation's journaled state came back, and how. Defined in serve so
+// the stats/metrics layer can reference it without an import cycle.
+type RecoveryStats = serve.RecoveryStats
 
-// RecoverSessions makes the coordinator's session state crash-durable
-// against dir, in three steps:
+// Recover makes the coordinator's state crash-durable against dir, in
+// three steps:
 //
 //  1. A fresh journal generation is created — one WAL per shard — and
-//     attached to every shard's server, so session traffic is journaled
-//     from here on.
+//     attached to every shard's server, so every acknowledged mutation
+//     (session applies AND vocabulary/data writes) is journaled from
+//     here on.
 //  2. The previous generation (per the journal manifest, if any) is
-//     replayed through the coordinator's *routed* SetSession/DropSession:
-//     each record lands on whatever shard owns its user at the current
-//     shard count, so recovery at a different -shards value reassigns
-//     sessions exactly like live traffic would — and, because the routed
-//     applies are themselves journaled, the replay simultaneously rewrites
-//     the surviving state into the new generation (a free compaction).
+//     replayed in per-file sequence order. Session records go through the
+//     coordinator's *routed* SetSession/DropSession: each lands on
+//     whatever shard owns its user at the current shard count, so
+//     recovery at a different -shards value reassigns sessions exactly
+//     like live traffic would. Vocabulary records go through the
+//     *broadcast* apply path under their original broadcast id; because
+//     every shard's WAL carries a copy of every broadcast, the id dedups
+//     them to exactly one apply, and records the restored snapshot
+//     already covers (per the snapshot manifest's checkpoint fields,
+//     matched by journal generation) are skipped outright. Because the
+//     routed/broadcast applies are themselves journaled, the replay
+//     simultaneously rewrites the surviving state into the new
+//     generation (a free compaction).
 //  3. The manifest is switched to the new generation by atomic rename and
 //     superseded files are removed best-effort.
 //
 // A crash before step 3's rename leaves the manifest on the old
 // generation: the next boot replays the same complete state again
-// (replay is idempotent — a Set replaces, a Drop of an absent user is a
-// no-op) and the partial new-generation files are cleaned up as stale.
+// (session replay is idempotent, and checkpoint coverage plus broadcast
+// ids make vocabulary replay exactly-once against the same snapshot) and
+// the partial new-generation files are cleaned up as stale.
 //
 // Call once, after construction (and snapshot restore) but before serving
 // traffic. Pair with CloseJournals on shutdown.
-func (c *Coordinator) RecoverSessions(dir string, opts journal.Options) (RecoveryStats, error) {
+func (c *Coordinator) Recover(dir string, opts journal.Options) (RecoveryStats, error) {
 	var stats RecoveryStats
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return stats, fmt.Errorf("shard: journal dir: %w", err)
@@ -136,6 +118,7 @@ func (c *Coordinator) RecoverSessions(dir string, opts journal.Options) (Recover
 		c.shards[i].AttachJournal(j)
 	}
 	c.journals = js
+	c.journalGen = gen
 
 	if prev != nil {
 		// Replay re-journals every surviving record through the attached
@@ -143,7 +126,7 @@ func (c *Coordinator) RecoverSessions(dir string, opts journal.Options) (Recover
 		// commit, strictly one at a time, so with per-batch fsync on a
 		// large session population boot would pay one fsync per record.
 		// Suspend syncing for the replay window (no traffic is being
-		// acknowledged — RecoverSessions runs before serving) and fsync
+		// acknowledged — Recover runs before serving) and fsync
 		// once per journal before the manifest switch below makes the new
 		// generation authoritative.
 		if !opts.NoSync {
@@ -151,20 +134,56 @@ func (c *Coordinator) RecoverSessions(dir string, opts journal.Options) (Recover
 				j.SetNoSync(true)
 			}
 		}
+		// Checkpoint pairing: the snapshot manifest (same dir) names the
+		// journal generation its checkpoint fields cover. Only when that
+		// matches the generation being replayed may coverage be used to
+		// skip records — an older snapshot paired with a since-replaced
+		// generation says nothing about these files.
+		var ckptSeqs []uint64
+		var ckptBID uint64
+		paired := false
+		if sm, err := readSnapshotManifest(dir); err == nil && sm.JournalGen != "" && sm.JournalGen == prev.Gen {
+			paired = true
+			ckptSeqs = sm.CheckpointSeqs
+			ckptBID = sm.CheckpointBID
+		}
+		// Prescan for the highest broadcast id in the old generation, and
+		// seed the coordinator's counter past it *before* replaying:
+		// untagged vocabulary records (written by an unsharded server) are
+		// re-broadcast under fresh ids, and a fresh id colliding with a
+		// historical one would make a future recovery wrongly dedup two
+		// different writes.
+		var maxBID uint64
+		for i := 0; i < prev.Shards; i++ {
+			_, _ = journal.Replay(journalFile(dir, prev.Gen, i), func(rec journal.Record) error {
+				if rec.BID > maxBID {
+					maxBID = rec.BID
+				}
+				return nil
+			})
+		}
+		c.bid.Store(maxBID)
 		// preserve keeps a record whose re-apply failed: append it raw to
 		// its routing shard's new-generation WAL so the next boot retries
 		// it. Without this the manifest switch plus stale-file cleanup
 		// would destroy the only copy over a possibly transient apply
 		// error (classic case: the boot snapshot predates the vocabulary
-		// the session references).
+		// the session references). The Preserved flag exempts the record
+		// from checkpoint truncation — its effect is not in any snapshot.
 		var preserveErr error
 		preserve := func(rec journal.Record) {
 			stats.Failed++
+			rec.Preserved = true
 			if err := js[ShardIndex(rec.User, len(c.shards))].Append(rec); err != nil && preserveErr == nil {
 				preserveErr = err
 			}
 		}
+		seenBID := make(map[uint64]bool)
 		for i := 0; i < prev.Shards; i++ {
+			var covered uint64
+			if paired && i < len(ckptSeqs) {
+				covered = ckptSeqs[i]
+			}
 			path := journalFile(dir, prev.Gen, i)
 			rs, err := journal.Replay(path, func(rec journal.Record) error {
 				switch rec.Op {
@@ -183,6 +202,40 @@ func (c *Coordinator) RecoverSessions(dir string, opts journal.Options) (Recover
 						return nil
 					}
 					stats.Drops++
+				case journal.OpDeclare, journal.OpAssert, journal.OpAddRules, journal.OpRemoveRule, journal.OpExec:
+					// Skip what the restored snapshot already contains —
+					// by this shard's sequence cut, or by the broadcast
+					// frontier (both generation-gated above). Preserved
+					// records never applied, so no snapshot covers them.
+					if !rec.Preserved && paired && (rec.Seq <= covered || (rec.BID > 0 && rec.BID <= ckptBID)) {
+						stats.SkippedCheckpoint++
+						return nil
+					}
+					// Every shard's WAL carries every broadcast; apply
+					// the first copy, dedup the rest by broadcast id.
+					if rec.BID > 0 && seenBID[rec.BID] {
+						stats.SkippedDuplicate++
+						return nil
+					}
+					if err := c.applyVocabRecord(rec); err != nil {
+						preserve(rec)
+						return nil
+					}
+					if rec.BID > 0 {
+						seenBID[rec.BID] = true
+					}
+					switch rec.Op {
+					case journal.OpDeclare:
+						stats.Declares++
+					case journal.OpAssert:
+						stats.Asserts++
+					case journal.OpAddRules:
+						stats.RuleAdds++
+					case journal.OpRemoveRule:
+						stats.RuleRemoves++
+					case journal.OpExec:
+						stats.Execs++
+					}
 				default:
 					// A record from a newer format revision: preserve it
 					// verbatim rather than abort (or silently drop) — a
@@ -243,7 +296,64 @@ func (c *Coordinator) RecoverSessions(dir string, opts journal.Options) (Recover
 	}
 	journal.SyncDir(dir)
 	removeStaleJournals(dir, gen)
+	published := stats
+	c.recovery.Store(&published)
 	return stats, nil
+}
+
+// applyVocabRecord re-applies one journaled vocabulary record through the
+// broadcast path — every shard applies it and journals it into the new
+// generation. A record tagged with a broadcast id keeps it (so the new
+// generation's copies dedup exactly like the old one's); an untagged
+// record (unsharded-server history) is re-broadcast under a fresh id.
+func (c *Coordinator) applyVocabRecord(rec journal.Record) error {
+	var err error
+	apply := func(fn func(i int, s *serve.Server, bid uint64) (int64, error)) {
+		if rec.BID > 0 {
+			_, err = c.broadcastBID(rec.BID, fn)
+		} else {
+			_, err = c.broadcast(fn)
+		}
+	}
+	switch rec.Op {
+	case journal.OpDeclare:
+		subs := make([]serve.SubConceptDecl, len(rec.Subs))
+		for i, sd := range rec.Subs {
+			subs[i] = serve.SubConceptDecl{Sub: sd.Sub, Super: sd.Super}
+		}
+		apply(func(_ int, s *serve.Server, bid uint64) (int64, error) {
+			return s.DeclareTagged(bid, rec.Concepts, rec.Roles, subs)
+		})
+	case journal.OpAssert:
+		concepts := make([]serve.ConceptAssertion, len(rec.ConceptAsserts))
+		for i, a := range rec.ConceptAsserts {
+			concepts[i] = serve.ConceptAssertion{Concept: a.Concept, ID: a.ID, Prob: a.Prob}
+		}
+		roles := make([]serve.RoleAssertion, len(rec.RoleAsserts))
+		for i, a := range rec.RoleAsserts {
+			roles[i] = serve.RoleAssertion{Role: a.Role, Src: a.Src, Dst: a.Dst, Prob: a.Prob}
+		}
+		apply(func(_ int, s *serve.Server, bid uint64) (int64, error) {
+			return s.AssertTagged(bid, concepts, roles)
+		})
+	case journal.OpAddRules:
+		apply(func(_ int, s *serve.Server, bid uint64) (int64, error) {
+			_, e, aerr := s.AddRulesTagged(bid, rec.Rules)
+			return e, aerr
+		})
+	case journal.OpRemoveRule:
+		apply(func(_ int, s *serve.Server, bid uint64) (int64, error) {
+			return s.RemoveRuleTagged(bid, rec.Rule)
+		})
+	case journal.OpExec:
+		apply(func(_ int, s *serve.Server, bid uint64) (int64, error) {
+			_, e, xerr := s.ExecTagged(bid, rec.Stmt)
+			return e, xerr
+		})
+	default:
+		return fmt.Errorf("shard: not a vocabulary record (op %d)", rec.Op)
+	}
+	return err
 }
 
 // removeStaleJournals best-effort deletes WAL files from generations other
@@ -266,7 +376,7 @@ func removeStaleJournals(dir, keep string) {
 }
 
 // CloseJournals detaches nothing — shards keep their references — but
-// drains and closes every journal opened by RecoverSessions, returning
+// drains and closes every journal opened by Recover, returning
 // the first error. Call after HTTP shutdown: a Set racing Close gets an
 // explicit journal-closed error instead of a silent durability gap.
 func (c *Coordinator) CloseJournals() error {

@@ -41,7 +41,7 @@ func rankScores(t *testing.T, c *Coordinator, user string) string {
 func TestRecoverSessionsAfterCrash(t *testing.T) {
 	dir := t.TempDir()
 	a := newTestCoordinator(t, 4)
-	if _, err := a.RecoverSessions(dir, journal.Options{}); err != nil {
+	if _, err := a.Recover(dir, journal.Options{}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -74,7 +74,7 @@ func TestRecoverSessionsAfterCrash(t *testing.T) {
 	// rebuilt from scratch (in carserved this is the snapshot restore or
 	// the deterministic preload).
 	b := newTestCoordinator(t, 4)
-	rs, err := b.RecoverSessions(dir, journal.Options{})
+	rs, err := b.Recover(dir, journal.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestRecoverSessionsAfterCrash(t *testing.T) {
 	// The old generation was superseded: only the new manifest's files
 	// remain, and a third boot replays from the rewritten generation.
 	c := newTestCoordinator(t, 4)
-	if _, err := c.RecoverSessions(dir, journal.Options{}); err != nil {
+	if _, err := c.Recover(dir, journal.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	defer c.CloseJournals()
@@ -127,7 +127,7 @@ func TestRecoverSessionsAfterCrash(t *testing.T) {
 func TestRecoverSessionsReshard(t *testing.T) {
 	dir := t.TempDir()
 	a := newTestCoordinator(t, 4)
-	if _, err := a.RecoverSessions(dir, journal.Options{}); err != nil {
+	if _, err := a.Recover(dir, journal.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	const users = 10
@@ -148,7 +148,7 @@ func TestRecoverSessionsReshard(t *testing.T) {
 		// generation — exactly the rolling-reshard sequence a production
 		// fleet would walk through.
 		b := newTestCoordinator(t, n)
-		rs, err := b.RecoverSessions(dir, journal.Options{})
+		rs, err := b.Recover(dir, journal.Options{})
 		if err != nil {
 			t.Fatalf("reshard to %d: %v", n, err)
 		}
@@ -183,7 +183,7 @@ func TestRecoverSessionsReshard(t *testing.T) {
 func TestRecoverSessionsTornTail(t *testing.T) {
 	dir := t.TempDir()
 	a := newTestCoordinator(t, 1)
-	if _, err := a.RecoverSessions(dir, journal.Options{}); err != nil {
+	if _, err := a.Recover(dir, journal.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
@@ -215,7 +215,7 @@ func TestRecoverSessionsTornTail(t *testing.T) {
 	}
 
 	b := newTestCoordinator(t, 1)
-	rs, err := b.RecoverSessions(dir, journal.Options{})
+	rs, err := b.Recover(dir, journal.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestRecoverSessionsTornTail(t *testing.T) {
 func TestRecoverSessionsPreservesFailedRecords(t *testing.T) {
 	dir := t.TempDir()
 	a := newTestCoordinator(t, 2)
-	if _, err := a.RecoverSessions(dir, journal.Options{}); err != nil {
+	if _, err := a.Recover(dir, journal.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	fps := make(map[string]string)
@@ -259,7 +259,7 @@ func TestRecoverSessionsPreservesFailedRecords(t *testing.T) {
 	if _, err := poisoned.Assert([]serve.ConceptAssertion{{Concept: "Weekend", ID: "somebody", Prob: 1}}, nil); err != nil {
 		t.Fatal(err)
 	}
-	rs, err := poisoned.RecoverSessions(dir, journal.Options{})
+	rs, err := poisoned.Recover(dir, journal.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +271,7 @@ func TestRecoverSessionsPreservesFailedRecords(t *testing.T) {
 	// Third boot without the conflicting data: the preserved records
 	// replay successfully from the poisoned boot's generation.
 	c := newTestCoordinator(t, 2)
-	rs, err = c.RecoverSessions(dir, journal.Options{})
+	rs, err = c.Recover(dir, journal.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +293,7 @@ func TestRecoverSessionsPreservesFailedRecords(t *testing.T) {
 func TestRecoverSessionsBadFile(t *testing.T) {
 	dir := t.TempDir()
 	a := newTestCoordinator(t, 2)
-	if _, err := a.RecoverSessions(dir, journal.Options{}); err != nil {
+	if _, err := a.Recover(dir, journal.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	users := []string{"user000", "user001", "user002", "user003"}
@@ -326,7 +326,7 @@ func TestRecoverSessionsBadFile(t *testing.T) {
 	}
 
 	b := newTestCoordinator(t, 2)
-	rs, err := b.RecoverSessions(dir, journal.Options{})
+	rs, err := b.Recover(dir, journal.Options{})
 	if err != nil {
 		t.Fatalf("one bad file aborted recovery: %v", err)
 	}
@@ -347,7 +347,7 @@ func TestRecoverSessionsBadFile(t *testing.T) {
 func TestCloseJournalsFailsLateSets(t *testing.T) {
 	dir := t.TempDir()
 	c := newTestCoordinator(t, 2)
-	if _, err := c.RecoverSessions(dir, journal.Options{}); err != nil {
+	if _, err := c.Recover(dir, journal.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.SetSession("early", sessionFor(0)); err != nil {

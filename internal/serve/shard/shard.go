@@ -51,16 +51,43 @@ type Coordinator struct {
 	start  time.Time
 	rr     atomic.Int64 // round-robin cursor for shard-agnostic reads
 
-	// journals are the per-shard session WALs opened by RecoverSessions
-	// (index = shard id; nil when the coordinator runs without session
-	// durability). Owned here for CloseJournals; the per-shard appends go
-	// through each server's session manager.
+	// journals are the per-shard WALs opened by Recover (index = shard
+	// id; nil when the coordinator runs without durability). Owned here
+	// for CloseJournals; the per-shard appends go through each server.
 	journals []*journal.Journal
+	// journalGen is the generation id of the open journals ("" without
+	// durability). Snapshot manifests record it so recovery can pair
+	// checkpoint coverage with the right WAL files.
+	journalGen string
+
+	// bcastGate orders broadcasts against checkpoints: every broadcast
+	// holds the read side for its whole apply+journal span, and
+	// Checkpoint holds the write side across all shards' snapshot cuts.
+	// The cuts therefore share one broadcast frontier — a broadcast is
+	// either in every shard's snapshot or in none — which is what lets
+	// recovery skip checkpoint-covered records by BID without risking a
+	// half-covered write.
+	bcastGate sync.RWMutex
+	// bid numbers broadcast writes; every shard journals the same
+	// broadcast with the same BID, so recovery applies each one exactly
+	// once even though N WALs carry a copy. Recover seeds it past the
+	// highest replayed BID.
+	bid atomic.Uint64
 
 	// Broadcast-write latency: total wall time (slowest shard) per write.
 	bcastWrites atomic.Int64
 	bcastSumNs  atomic.Int64
 	bcastMaxNs  atomic.Int64
+
+	// Background-checkpoint counters (see Checkpoint/StartCheckpointer).
+	ckptCount     atomic.Int64
+	ckptFailures  atomic.Int64
+	ckptLastUnix  atomic.Int64
+	ckptLastDurUs atomic.Int64
+	ckptLastSeq   atomic.Uint64
+
+	// recovery is the boot-time replay outcome, attached to Stats once.
+	recovery atomic.Pointer[serve.RecoveryStats]
 }
 
 var _ serve.Backend = (*Coordinator)(nil)
@@ -156,12 +183,24 @@ func (c *Coordinator) DropSession(user string) error {
 
 // --- broadcast writes ------------------------------------------------------
 
-// broadcast applies fn to every shard in parallel, records the write's
-// wall time (the slowest shard), and returns the highest resulting epoch
-// together with the first error in shard order. Callers that need one
-// representative result capture it when i == 0 — wg.Wait orders that
+// broadcast assigns the write a fresh broadcast id and applies fn to
+// every shard in parallel, holding the broadcast gate's read side for the
+// whole span so a concurrent Checkpoint (which takes the write side)
+// observes the write on either every shard or none. It records the
+// write's wall time (the slowest shard) and returns the highest resulting
+// epoch together with the first error in shard order. Callers that need
+// one representative result capture it when i == 0 — wg.Wait orders that
 // write before the caller's read, so no extra locking is needed.
-func (c *Coordinator) broadcast(fn func(i int, s *serve.Server) (int64, error)) (int64, error) {
+func (c *Coordinator) broadcast(fn func(i int, s *serve.Server, bid uint64) (int64, error)) (int64, error) {
+	c.bcastGate.RLock()
+	defer c.bcastGate.RUnlock()
+	return c.broadcastBID(c.bid.Add(1), fn)
+}
+
+// broadcastBID is broadcast's body for an already-assigned broadcast id.
+// Recovery calls it directly to re-apply a journaled broadcast under its
+// original BID (no gate needed: replay runs before traffic).
+func (c *Coordinator) broadcastBID(bid uint64, fn func(i int, s *serve.Server, bid uint64) (int64, error)) (int64, error) {
 	started := time.Now()
 	epochs := make([]int64, len(c.shards))
 	errs := make([]error, len(c.shards))
@@ -170,7 +209,7 @@ func (c *Coordinator) broadcast(fn func(i int, s *serve.Server) (int64, error)) 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			epochs[i], errs[i] = fn(i, c.shards[i])
+			epochs[i], errs[i] = fn(i, c.shards[i], bid)
 		}(i)
 	}
 	wg.Wait()
@@ -203,9 +242,11 @@ func (c *Coordinator) observeBroadcast(d time.Duration) {
 }
 
 // Declare broadcasts concept/role/subconcept declarations to every shard.
+// Each shard journals the write under the shared broadcast id, so every
+// shard's WAL is an independently replayable full log.
 func (c *Coordinator) Declare(concepts, roles []string, subs []serve.SubConceptDecl) (int64, error) {
-	return c.broadcast(func(_ int, s *serve.Server) (int64, error) {
-		return s.Declare(concepts, roles, subs)
+	return c.broadcast(func(_ int, s *serve.Server, bid uint64) (int64, error) {
+		return s.DeclareTagged(bid, concepts, roles, subs)
 	})
 }
 
@@ -214,8 +255,8 @@ func (c *Coordinator) Declare(concepts, roles []string, subs []serve.SubConceptD
 // probability every shard computes is identical, so rankings agree across
 // shards even though the event names differ.
 func (c *Coordinator) Assert(concepts []serve.ConceptAssertion, roles []serve.RoleAssertion) (int64, error) {
-	return c.broadcast(func(_ int, s *serve.Server) (int64, error) {
-		return s.Assert(concepts, roles)
+	return c.broadcast(func(_ int, s *serve.Server, bid uint64) (int64, error) {
+		return s.AssertTagged(bid, concepts, roles)
 	})
 }
 
@@ -228,8 +269,8 @@ func (c *Coordinator) Rules() []contextrank.Rule { return c.shards[0].Rules() }
 // derives the same names).
 func (c *Coordinator) AddRules(texts []string) ([]string, int64, error) {
 	var added []string
-	epoch, err := c.broadcast(func(i int, s *serve.Server) (int64, error) {
-		names, e, err := s.AddRules(texts)
+	epoch, err := c.broadcast(func(i int, s *serve.Server, bid uint64) (int64, error) {
+		names, e, err := s.AddRulesTagged(bid, texts)
 		if i == 0 {
 			added = names
 		}
@@ -240,8 +281,8 @@ func (c *Coordinator) AddRules(texts []string) ([]string, int64, error) {
 
 // RemoveRule broadcasts the removal to every shard.
 func (c *Coordinator) RemoveRule(name string) (int64, error) {
-	return c.broadcast(func(_ int, s *serve.Server) (int64, error) {
-		return s.RemoveRule(name)
+	return c.broadcast(func(_ int, s *serve.Server, bid uint64) (int64, error) {
+		return s.RemoveRuleTagged(bid, name)
 	})
 }
 
@@ -249,8 +290,8 @@ func (c *Coordinator) RemoveRule(name string) (int64, error) {
 // (replicated data is identical when the broadcast succeeds).
 func (c *Coordinator) Exec(stmt string) (*contextrank.QueryResult, int64, error) {
 	var res *contextrank.QueryResult
-	epoch, err := c.broadcast(func(i int, s *serve.Server) (int64, error) {
-		r, e, err := s.Exec(stmt)
+	epoch, err := c.broadcast(func(i int, s *serve.Server, bid uint64) (int64, error) {
+		r, e, err := s.ExecTagged(bid, stmt)
 		if i == 0 {
 			res = r
 		}
@@ -301,5 +342,15 @@ func (c *Coordinator) Stats() serve.Stats {
 		b.MaxMicros = float64(c.bcastMaxNs.Load()) / 1e3
 	}
 	agg.Broadcast = b
+	if c.journals != nil {
+		agg.Checkpoints = &serve.CheckpointStats{
+			Count:              c.ckptCount.Load(),
+			Failures:           c.ckptFailures.Load(),
+			LastUnix:           c.ckptLastUnix.Load(),
+			LastDurationMicros: float64(c.ckptLastDurUs.Load()),
+			LastSeq:            c.ckptLastSeq.Load(),
+		}
+	}
+	agg.Recovery = c.recovery.Load()
 	return agg
 }
