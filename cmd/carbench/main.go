@@ -44,6 +44,13 @@
 // sessions should cost a few percent at most: the rank path never touches
 // the journal, and concurrent session applies share one fsync.
 //
+// topk: the bounded-heap selection microbenchmark — one compiled plan
+// ranking a 10k-program catalog at each -topk value (0 = full ranking),
+// printing the ns/rank curve and the speedup over the full sort, plus the
+// hot-path scratch-pool and document-distribution-cache counters. CI's
+// bench-rank-regression job runs it under -cpuprofile/-memprofile to
+// archive rank-path profiles per commit.
+//
 // -cpuprofile/-memprofile write pprof profiles for any run, e.g.
 // `carbench -exp rankbatch -cpuprofile cpu.out` then `go tool pprof`.
 package main
@@ -65,7 +72,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, e1, e2, e3, a1, a2, a3, a4, serve, rankbatch, journal, overload (load generators; not in 'all')")
+		exp      = flag.String("exp", "all", "experiment to run: all, e1, e2, e3, a1, a2, a3, a4, serve, rankbatch, journal, overload, topk (load generators/microbenchmarks; not in 'all')")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-point budget for sweeps (the paper aborted at 30min)")
 		maxRules = flag.Int("maxrules", 8, "largest rule count in the scalability sweeps")
 		small    = flag.Bool("small", false, "use the scaled-down dataset instead of the paper's ~11k tuples")
@@ -79,6 +86,7 @@ func main() {
 		cachesize   = flag.Int("cachesize", 0, "serve: rank cache capacity (0 = default, -1 = disabled)")
 		ctxprob     = flag.Float64("ctxprob", 1, "serve: session measurement probability; < 1 churns basic events through the space on every context update")
 		batchSizes  = flag.String("batchsizes", "1,2,4,8,16", "rankbatch: comma-separated /v1/rank/batch item counts for the amortization curve")
+		topkList    = flag.String("topk", "0,10,100,1000", "topk: comma-separated top-k values for the selection curve (0 = full ranking baseline)")
 
 		target      = flag.String("target", "", "overload: base URL of a running carserved (empty boots an in-process daemon with the limits below)")
 		users       = flag.Int("users", 8, "overload: distinct user IDs the clients share (fewer users = harder per-user rate pressure)")
@@ -275,6 +283,36 @@ func main() {
 			RateLimit:   *ratelimit,
 			MaxInFlight: *maxinflight,
 			MaxQueue:    *maxqueue,
+		}))
+	}
+
+	if strings.EqualFold(*exp, "topk") {
+		ran = true
+		ks, err := parseTopKList(*topkList)
+		exitOn(err)
+		// The selection curve needs a catalog big enough that sorting it
+		// dominates scoring at small k; the default spec's 300 programs
+		// would hide the effect.
+		programs := 10000
+		if *small {
+			programs = 2000
+		}
+		section("TOPK — bounded-heap top-k selection vs full-sort ranking over one compiled plan")
+		exitOn(runTopKCurve(topkConfig{
+			Spec: workload.Spec{
+				Seed:                 *seed,
+				Persons:              50,
+				Programs:             programs,
+				Genres:               12,
+				Subjects:             6,
+				Activities:           4,
+				Rooms:                5,
+				WatchEvents:          programs,
+				UncertainFeatureProb: 0.5,
+			},
+			Rules:    *maxRules,
+			TopKs:    ks,
+			Duration: *benchdur,
 		}))
 	}
 

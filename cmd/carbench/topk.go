@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dl"
+	"repro/internal/workload"
+)
+
+// parseTopKList parses the -topk value: comma-separated non-negative
+// top-k values, where 0 is the full-ranking baseline row.
+func parseTopKList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -topk value %q (want a comma list of non-negative counts like 0,10,100)", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// topkConfig drives the top-k selection curve: one compiled plan ranking
+// a large catalog repeatedly at each requested k.
+type topkConfig struct {
+	Spec     workload.Spec
+	Rules    int
+	TopKs    []int // 0 means full ranking (the baseline row)
+	Duration time.Duration
+}
+
+// runTopKCurve measures Plan.Rank at each top-k over one compiled plan and
+// a fixed catalog — the serving layer's steady state, where the plan cache
+// hands every rank the same plan and the document-distribution cache is
+// warm. The expected shape: ns/rank drops as k shrinks because the
+// bounded heap replaces the full sort and the result copy, while the
+// per-candidate scoring cost (shared by every k) stays constant.
+func runTopKCurve(cfg topkConfig) error {
+	spec := cfg.Spec
+	d, err := workload.Generate(spec)
+	if err != nil {
+		return err
+	}
+	if err := d.ApplyBenchContext(cfg.Rules, false); err != nil {
+		return err
+	}
+	rules, err := d.Rules(cfg.Rules)
+	if err != nil {
+		return err
+	}
+	plan, err := core.CompilePlan(d.Loader, d.User, rules)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("catalog: %d programs, %d rules, %s/point; one plan, warm doc-distribution cache\n",
+		spec.Programs, cfg.Rules, cfg.Duration)
+
+	target := dl.Atom("TvProgram")
+	sc := core.NewPlanScratch()
+	var baseNs float64
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "top_k\tresults\tns/rank\tranks/s\tspeedup")
+	for _, k := range cfg.TopKs {
+		req := core.PlanRequest{Target: target, TopK: k}
+		// One warm-up rank fills the doc-distribution cache (and pays any
+		// first-use allocation) outside the measured window.
+		res, err := plan.RankInto(sc, req)
+		if err != nil {
+			return err
+		}
+		got := len(res)
+		var ranks int
+		started := time.Now()
+		for time.Since(started) < cfg.Duration {
+			if _, err := plan.RankInto(sc, req); err != nil {
+				return err
+			}
+			ranks++
+		}
+		elapsed := time.Since(started)
+		nsPer := float64(elapsed.Nanoseconds()) / float64(ranks)
+		if k == 0 {
+			baseNs = nsPer
+		}
+		speedup := "—"
+		if k != 0 && baseNs > 0 {
+			speedup = fmt.Sprintf("×%.2f", baseNs/nsPer)
+		}
+		label := "full"
+		if k > 0 {
+			label = fmt.Sprintf("%d", k)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%s\n",
+			label, got, nsPer, float64(ranks)/elapsed.Seconds(), speedup)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	hp := core.ReadHotPathStats()
+	fmt.Printf("hot path: scratch gets=%d (fresh %d), doc-dist cache hits=%d misses=%d\n",
+		hp.ScratchGets, hp.ScratchNews, hp.DocCacheHits, hp.DocCacheMisses)
+	return nil
+}

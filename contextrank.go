@@ -113,7 +113,13 @@ type RankOptions struct {
 	Algorithm Algorithm // defaults to AlgorithmFactorized
 	Threshold float64   // drop scores <= Threshold
 	Limit     int       // keep at most Limit results (0 = all)
-	Explain   bool      // attach per-rule explanations
+	// TopK, when positive, asks for only the best k results — exactly the
+	// first k of the full ranking (identical order and tie-breaking). The
+	// compiled-plan path selects them with a bounded heap instead of
+	// sorting the whole catalog; other algorithms truncate. 0 disables,
+	// negative is an error.
+	TopK    int
+	Explain bool // attach per-rule explanations
 }
 
 // System bundles the engine, the DL mapping, the rule repository and the
@@ -326,6 +332,7 @@ func (s *System) RankWith(user, target string, opts RankOptions) ([]Result, erro
 		Rules:     s.repo.Rules(),
 		Threshold: opts.Threshold,
 		Limit:     opts.Limit,
+		TopK:      opts.TopK,
 		Explain:   opts.Explain,
 	}
 	ranker, err := s.ranker(opts.Algorithm, false)
@@ -399,6 +406,7 @@ func (s *System) RankWithPlan(plan *RankPlan, target string, opts RankOptions) (
 		Target:    targetExpr,
 		Threshold: opts.Threshold,
 		Limit:     opts.Limit,
+		TopK:      opts.TopK,
 		Explain:   opts.Explain,
 	})
 }
@@ -414,6 +422,7 @@ func (s *System) RankCandidatesWithPlan(plan *RankPlan, candidates []string, opt
 		Candidates: candidates,
 		Threshold:  opts.Threshold,
 		Limit:      opts.Limit,
+		TopK:       opts.TopK,
 		Explain:    opts.Explain,
 	})
 }
@@ -427,6 +436,16 @@ func planOptsOK(opts RankOptions) error {
 	}
 	return nil
 }
+
+// HotPathStats reports the effectiveness of the rank hot path's pooled
+// scratch arenas and per-plan document-distribution caches. The counters
+// are process-global (plans come and go through caches; the scratch pool
+// is shared), so the serving layer reports them once per process, not per
+// shard.
+type HotPathStats = core.HotPathStats
+
+// ReadHotPathStats returns the process-wide rank hot-path counters.
+func ReadHotPathStats() HotPathStats { return core.ReadHotPathStats() }
 
 // RulesFingerprint hashes the registered rules; see
 // prefs.Repository.Fingerprint. Combined with the data epoch and context
@@ -460,6 +479,7 @@ func (s *System) RankNoPlan(user, target string, opts RankOptions) ([]Result, er
 		Rules:     s.repo.Rules(),
 		Threshold: opts.Threshold,
 		Limit:     opts.Limit,
+		TopK:      opts.TopK,
 		Explain:   opts.Explain,
 	})
 }
@@ -475,6 +495,7 @@ func (s *System) RankCandidatesNoPlan(user string, candidates []string, opts Ran
 		Rules:      s.repo.Rules(),
 		Threshold:  opts.Threshold,
 		Limit:      opts.Limit,
+		TopK:       opts.TopK,
 		Explain:    opts.Explain,
 	})
 }
@@ -495,6 +516,7 @@ func (s *System) RankCandidates(user string, candidates []string, opts RankOptio
 		Rules:      s.repo.Rules(),
 		Threshold:  opts.Threshold,
 		Limit:      opts.Limit,
+		TopK:       opts.TopK,
 		Explain:    opts.Explain,
 	})
 }

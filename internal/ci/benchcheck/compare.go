@@ -7,80 +7,173 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // benchLine matches one `go test -bench` result line, e.g.
 //
-//	BenchmarkServeRankCached/cached-8   1964382   610.8 ns/op   96 B/op ...
+//	BenchmarkServeRankCached/cached-8   1964382   610.8 ns/op   96 B/op   3 allocs/op
 //
+// The B/op + allocs/op tail is present only under -benchmem; the alloc
+// gates silently skip benchmarks that lack it, so the ns/op gate keeps
+// working against old baselines taken without -benchmem.
 // The trailing -N is the GOMAXPROCS suffix; both files come from the same
 // machine in CI, so names compare equal including it.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+(?:e[+-]?[0-9]+)?) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+(?:e[+-]?[0-9]+)?) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
-// Report is the JSON shape of one comparison (the BENCH_serve.json
-// artifact).
+// Report is the JSON shape of one comparison (the BENCH_serve.json /
+// BENCH_allocs.json artifacts).
 type Report struct {
-	Threshold  float64  `json:"threshold"`
-	Benchmarks []Result `json:"benchmarks"`
+	Threshold float64 `json:"threshold"`
+	// AllocThreshold mirrors -alloc-threshold; negative when the
+	// fractional allocs/op gate is disabled.
+	AllocThreshold float64  `json:"alloc_threshold"`
+	Benchmarks     []Result `json:"benchmarks"`
 	// OnlyOld / OnlyNew list benchmarks without a counterpart; they are
 	// informational and never fail the check.
 	OnlyOld     []string `json:"only_old,omitempty"`
 	OnlyNew     []string `json:"only_new,omitempty"`
 	Regressions []string `json:"regressions"`
+	// AllocCaps records the -max-allocs absolute checks against the
+	// candidate medians; violations also land in Regressions.
+	AllocCaps []CapResult `json:"alloc_caps,omitempty"`
 }
 
-// Result compares one benchmark's median ns/op across the two files.
+// Result compares one benchmark's median ns/op — and, when both runs
+// carry -benchmem columns, median allocs/op and B/op — across the two
+// files.
 type Result struct {
 	Name       string  `json:"name"`
 	OldNsOp    float64 `json:"old_ns_op"`
 	NewNsOp    float64 `json:"new_ns_op"`
 	Delta      float64 `json:"delta"` // (new-old)/old; positive = slower
 	Regression bool    `json:"regression"`
+
+	OldAllocsOp *float64 `json:"old_allocs_op,omitempty"`
+	NewAllocsOp *float64 `json:"new_allocs_op,omitempty"`
+	OldBytesOp  *float64 `json:"old_b_op,omitempty"`
+	NewBytesOp  *float64 `json:"new_b_op,omitempty"`
+	// AllocDelta is (new-old)/old allocs/op; an old median of zero makes
+	// any new allocation an automatic regression (delta reported as +Inf
+	// would not survive JSON, so it is clamped to the new count).
+	AllocDelta      float64 `json:"alloc_delta,omitempty"`
+	AllocRegression bool    `json:"alloc_regression,omitempty"`
 }
 
-// Compare parses two bench outputs and flags every benchmark whose median
-// ns/op grew by more than threshold.
-func Compare(oldData, newData []byte, threshold float64) (Report, error) {
-	oldMed, err := medians(oldData)
-	if err != nil {
-		return Report{}, fmt.Errorf("baseline: %w", err)
-	}
+// CapResult is one -max-allocs absolute check: the candidate's median
+// allocs/op against a hard cap, no baseline needed.
+type CapResult struct {
+	Name      string  `json:"name"`
+	Cap       float64 `json:"cap"`
+	AllocsOp  float64 `json:"allocs_op"`
+	Missing   bool    `json:"missing,omitempty"` // no -benchmem sample matched the cap name
+	Violation bool    `json:"violation"`
+}
+
+// metrics holds one benchmark's medians over its -count repetitions.
+type metrics struct {
+	ns     float64
+	bytes  float64
+	allocs float64
+	hasMem bool
+}
+
+// Compare parses the two bench outputs and flags every benchmark whose
+// median ns/op grew by more than threshold, or — when allocThreshold is
+// non-negative and both runs carry -benchmem columns — whose median
+// allocs/op grew by more than allocThreshold. caps maps benchmark names
+// (GOMAXPROCS suffix optional) to hard allocs/op ceilings checked against
+// the candidate alone; with caps, oldData may be nil and the comparison
+// section is skipped.
+func Compare(oldData, newData []byte, threshold, allocThreshold float64, caps map[string]float64) (Report, error) {
 	newMed, err := medians(newData)
 	if err != nil {
 		return Report{}, fmt.Errorf("candidate: %w", err)
 	}
-	if len(oldMed) == 0 && len(newMed) == 0 {
-		return Report{}, fmt.Errorf("no benchmark results in either file")
+	rep := Report{Threshold: threshold, AllocThreshold: allocThreshold, Regressions: []string{}}
+
+	if oldData != nil {
+		oldMed, err := medians(oldData)
+		if err != nil {
+			return Report{}, fmt.Errorf("baseline: %w", err)
+		}
+		if len(oldMed) == 0 && len(newMed) == 0 {
+			return Report{}, fmt.Errorf("no benchmark results in either file")
+		}
+		for _, name := range sortedKeys(oldMed) {
+			if _, ok := newMed[name]; !ok {
+				rep.OnlyOld = append(rep.OnlyOld, name)
+			}
+		}
+		for _, name := range sortedKeys(newMed) {
+			old, ok := oldMed[name]
+			if !ok {
+				rep.OnlyNew = append(rep.OnlyNew, name)
+				continue
+			}
+			nw := newMed[name]
+			r := Result{Name: name, OldNsOp: old.ns, NewNsOp: nw.ns}
+			if old.ns > 0 {
+				r.Delta = (r.NewNsOp - old.ns) / old.ns
+			}
+			r.Regression = r.Delta > threshold
+			if old.hasMem && nw.hasMem {
+				oa, na, ob, nb := old.allocs, nw.allocs, old.bytes, nw.bytes
+				r.OldAllocsOp, r.NewAllocsOp = &oa, &na
+				r.OldBytesOp, r.NewBytesOp = &ob, &nb
+				if oa > 0 {
+					r.AllocDelta = (na - oa) / oa
+				} else if na > 0 {
+					r.AllocDelta = na
+				}
+				if allocThreshold >= 0 {
+					r.AllocRegression = r.AllocDelta > allocThreshold
+				}
+			}
+			if r.Regression || r.AllocRegression {
+				rep.Regressions = append(rep.Regressions, name)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, r)
+		}
+	} else if len(newMed) == 0 {
+		return Report{}, fmt.Errorf("no benchmark results in the candidate file")
 	}
-	rep := Report{Threshold: threshold, Regressions: []string{}}
-	for _, name := range sortedKeys(oldMed) {
-		if _, ok := newMed[name]; !ok {
-			rep.OnlyOld = append(rep.OnlyOld, name)
+
+	for _, name := range sortedCapKeys(caps) {
+		cr := CapResult{Name: name, Cap: caps[name], Missing: true}
+		for _, have := range sortedKeys(newMed) {
+			// Cap names may omit the -N GOMAXPROCS suffix.
+			if have != name && !strings.HasPrefix(have, name+"-") {
+				continue
+			}
+			m := newMed[have]
+			if !m.hasMem {
+				continue
+			}
+			cr.Missing = false
+			if m.allocs > cr.AllocsOp {
+				cr.AllocsOp = m.allocs
+			}
+			if m.allocs > cr.Cap {
+				cr.Violation = true
+			}
 		}
-	}
-	for _, name := range sortedKeys(newMed) {
-		old, ok := oldMed[name]
-		if !ok {
-			rep.OnlyNew = append(rep.OnlyNew, name)
-			continue
-		}
-		r := Result{Name: name, OldNsOp: old, NewNsOp: newMed[name]}
-		if old > 0 {
-			r.Delta = (r.NewNsOp - old) / old
-		}
-		r.Regression = r.Delta > threshold
-		if r.Regression {
+		if cr.Violation || cr.Missing {
+			// A cap whose benchmark vanished (or ran without -benchmem)
+			// must fail too: a silently skipped gate is not a gate.
 			rep.Regressions = append(rep.Regressions, name)
 		}
-		rep.Benchmarks = append(rep.Benchmarks, r)
+		rep.AllocCaps = append(rep.AllocCaps, cr)
 	}
 	return rep, nil
 }
 
-// medians collects each benchmark's median ns/op over its -count
+// medians collects each benchmark's median ns/op (and allocs/B per op
+// when every sample carries -benchmem columns) over its -count
 // repetitions.
-func medians(data []byte) (map[string]float64, error) {
-	samples := make(map[string][]float64)
+func medians(data []byte) (map[string]metrics, error) {
+	type sample struct{ ns, bytes, allocs []float64 }
+	samples := make(map[string]*sample)
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -91,25 +184,64 @@ func medians(data []byte) (map[string]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
 		}
-		samples[m[1]] = append(samples[m[1]], ns)
+		s := samples[m[1]]
+		if s == nil {
+			s = &sample{}
+			samples[m[1]] = s
+		}
+		s.ns = append(s.ns, ns)
+		if m[3] != "" {
+			b, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad B/op in %q: %w", sc.Text(), err)
+			}
+			a, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			s.bytes = append(s.bytes, b)
+			s.allocs = append(s.allocs, a)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	out := make(map[string]float64, len(samples))
-	for name, xs := range samples {
-		sort.Float64s(xs)
-		n := len(xs)
-		if n%2 == 1 {
-			out[name] = xs[n/2]
-		} else {
-			out[name] = (xs[n/2-1] + xs[n/2]) / 2
+	out := make(map[string]metrics, len(samples))
+	for name, s := range samples {
+		m := metrics{ns: median(s.ns)}
+		if len(s.allocs) == len(s.ns) && len(s.ns) > 0 {
+			m.hasMem = true
+			m.bytes = median(s.bytes)
+			m.allocs = median(s.allocs)
 		}
+		out[name] = m
 	}
 	return out, nil
 }
 
-func sortedKeys(m map[string]float64) []string {
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+func sortedKeys(m map[string]metrics) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedCapKeys(m map[string]float64) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 const baseline = `
 goos: linux
@@ -20,7 +23,7 @@ BenchmarkServeRankCached/cached-8     1000000    640 ns/op
 BenchmarkServeRankConcurrent/sessions=4-8   50000   2050 ns/op
 BenchmarkFresh-8   1   1 ns/op
 `
-	rep, err := Compare([]byte(baseline), []byte(candidate), 0.20)
+	rep, err := Compare([]byte(baseline), []byte(candidate), 0.20, -1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +58,7 @@ func TestCompareFlagsRegression(t *testing.T) {
 BenchmarkServeRankCached/cached-8     1000000    800 ns/op
 BenchmarkServeRankConcurrent/sessions=4-8   50000   2050 ns/op
 `
-	rep, err := Compare([]byte(baseline), []byte(candidate), 0.20)
+	rep, err := Compare([]byte(baseline), []byte(candidate), 0.20, -1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,16 +68,163 @@ BenchmarkServeRankConcurrent/sessions=4-8   50000   2050 ns/op
 }
 
 func TestCompareScientificNotationAndEmpty(t *testing.T) {
-	if _, err := Compare([]byte("no benches here"), []byte(""), 0.2); err == nil {
+	if _, err := Compare([]byte("no benches here"), []byte(""), 0.2, -1, nil); err == nil {
 		t.Fatal("empty inputs accepted")
 	}
 	rep, err := Compare(
 		[]byte("BenchmarkBig-8  1  1.5e+06 ns/op"),
-		[]byte("BenchmarkBig-8  1  1.6e+06 ns/op"), 0.2)
+		[]byte("BenchmarkBig-8  1  1.6e+06 ns/op"), 0.2, -1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].OldNsOp != 1.5e6 {
 		t.Fatalf("scientific notation parsed as %+v", rep.Benchmarks)
+	}
+}
+
+// --- -benchmem column parsing and the alloc gates --------------------------
+
+const oldMemBench = `
+goos: linux
+BenchmarkRankFast-8    1000    100.0 ns/op    64 B/op    2 allocs/op
+BenchmarkRankFast-8    1000    110.0 ns/op    64 B/op    2 allocs/op
+BenchmarkRankFast-8    1000    120.0 ns/op    64 B/op    2 allocs/op
+BenchmarkNoMem-8       1000    50.0 ns/op
+BenchmarkZero-8        1000    10.0 ns/op    0 B/op    0 allocs/op
+`
+
+const newMemBench = `
+BenchmarkRankFast-8    1000    115.0 ns/op    96 B/op    3 allocs/op
+BenchmarkRankFast-8    1000    112.0 ns/op    96 B/op    3 allocs/op
+BenchmarkRankFast-8    1000    118.0 ns/op    96 B/op    3 allocs/op
+BenchmarkNoMem-8       1000    51.0 ns/op
+BenchmarkZero-8        1000    11.0 ns/op    0 B/op    0 allocs/op
+`
+
+func result(t *testing.T, rep Report, name string) Result {
+	t.Helper()
+	for _, r := range rep.Benchmarks {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("benchmark %s missing from report", name)
+	return Result{}
+}
+
+func TestCompareParsesMemColumns(t *testing.T) {
+	rep, err := Compare([]byte(oldMemBench), []byte(newMemBench), 0.20, -1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := result(t, rep, "BenchmarkRankFast-8")
+	if r.OldNsOp != 110 || r.NewNsOp != 115 {
+		t.Fatalf("ns/op medians = %v, %v; want 110, 115", r.OldNsOp, r.NewNsOp)
+	}
+	if r.OldAllocsOp == nil || *r.OldAllocsOp != 2 || r.NewAllocsOp == nil || *r.NewAllocsOp != 3 {
+		t.Fatalf("allocs/op medians = %v, %v; want 2, 3", r.OldAllocsOp, r.NewAllocsOp)
+	}
+	if r.AllocRegression {
+		t.Fatal("alloc gate fired while disabled")
+	}
+	if nm := result(t, rep, "BenchmarkNoMem-8"); nm.OldAllocsOp != nil {
+		t.Fatal("benchmark without -benchmem columns got alloc medians")
+	}
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("unexpected regressions: %v", rep.Regressions)
+	}
+}
+
+func TestCompareAllocThreshold(t *testing.T) {
+	rep, err := Compare([]byte(oldMemBench), []byte(newMemBench), 0.20, 0.10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := result(t, rep, "BenchmarkRankFast-8")
+	if !r.AllocRegression {
+		t.Fatal("2 → 3 allocs/op should exceed a 10% alloc threshold")
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0] != "BenchmarkRankFast-8" {
+		t.Fatalf("regressions = %v", rep.Regressions)
+	}
+	// A benchmark missing memstats on either side must not fire the gate.
+	if r := result(t, rep, "BenchmarkNoMem-8"); r.AllocRegression {
+		t.Fatal("alloc gate fired without -benchmem columns")
+	}
+	// Zero-to-zero stays clean; zero-to-nonzero regresses.
+	if r := result(t, rep, "BenchmarkZero-8"); r.AllocRegression {
+		t.Fatal("0 → 0 allocs/op flagged")
+	}
+	grew := strings.Replace(newMemBench, "BenchmarkZero-8        1000    11.0 ns/op    0 B/op    0 allocs/op",
+		"BenchmarkZero-8        1000    11.0 ns/op    16 B/op    1 allocs/op", 1)
+	rep, err = Compare([]byte(oldMemBench), []byte(grew), 0.20, 0.10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := result(t, rep, "BenchmarkZero-8"); !r.AllocRegression {
+		t.Fatal("0 → 1 allocs/op not flagged")
+	}
+}
+
+func TestCompareMaxAllocsCaps(t *testing.T) {
+	caps := map[string]float64{
+		"BenchmarkZero":     0, // prefix form, no GOMAXPROCS suffix
+		"BenchmarkRankFast": 2,
+	}
+	rep, err := Compare(nil, []byte(newMemBench), 0.20, -1, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]CapResult{}
+	for _, c := range rep.AllocCaps {
+		byName[c.Name] = c
+	}
+	if c := byName["BenchmarkZero"]; c.Violation || c.Missing || c.AllocsOp != 0 {
+		t.Fatalf("zero cap: %+v", c)
+	}
+	if c := byName["BenchmarkRankFast"]; !c.Violation || c.AllocsOp != 3 {
+		t.Fatalf("rankfast cap: %+v", c)
+	}
+	if len(rep.Regressions) != 1 || rep.Regressions[0] != "BenchmarkRankFast" {
+		t.Fatalf("regressions = %v", rep.Regressions)
+	}
+}
+
+func TestCompareMissingCapFails(t *testing.T) {
+	rep, err := Compare(nil, []byte(newMemBench), 0.20, -1, map[string]float64{"BenchmarkVanished": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.AllocCaps) != 1 || !rep.AllocCaps[0].Missing {
+		t.Fatalf("alloc caps = %+v", rep.AllocCaps)
+	}
+	if len(rep.Regressions) != 1 {
+		t.Fatalf("a vanished capped benchmark must fail the check; regressions = %v", rep.Regressions)
+	}
+	// A cap over a benchmark that ran without -benchmem is equally missing.
+	rep, err = Compare(nil, []byte(newMemBench), 0.20, -1, map[string]float64{"BenchmarkNoMem": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllocCaps[0].Missing || len(rep.Regressions) != 1 {
+		t.Fatalf("cap over mem-less benchmark: %+v, regressions %v", rep.AllocCaps[0], rep.Regressions)
+	}
+}
+
+func TestParseCaps(t *testing.T) {
+	caps, err := parseCaps("BenchmarkPlanScoreLargeCatalog/warm/candidates=1000=0, BenchmarkServeRankCached=24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps["BenchmarkPlanScoreLargeCatalog/warm/candidates=1000"] != 0 {
+		t.Fatalf("caps = %v", caps)
+	}
+	if caps["BenchmarkServeRankCached"] != 24 {
+		t.Fatalf("caps = %v", caps)
+	}
+	for _, bad := range []string{"noequals", "=5", "name=", "name=-1", "name=x"} {
+		if _, err := parseCaps(bad); err == nil {
+			t.Fatalf("parseCaps(%q) accepted", bad)
+		}
 	}
 }

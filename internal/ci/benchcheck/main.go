@@ -1,14 +1,25 @@
 // Command benchcheck compares two `go test -bench` output files and fails
 // (exit 1) when any benchmark regressed beyond a threshold. CI's
-// bench-regression job runs it next to benchstat: benchstat renders the
+// bench-regression jobs run it next to benchstat: benchstat renders the
 // human-readable comparison, benchcheck is the machine gate — it takes the
-// per-benchmark median ns/op over the -count repetitions (robust against
-// one noisy run, no statistics dependency) and emits a JSON report that
-// the workflow uploads as the BENCH_serve.json artifact.
+// per-benchmark median over the -count repetitions (robust against one
+// noisy run, no statistics dependency) and emits a JSON report that the
+// workflow uploads as the BENCH_*.json artifacts.
 //
 // Usage:
 //
 //	benchcheck -old main.txt -new pr.txt [-threshold 0.20] [-json out.json]
+//	benchcheck -old main.txt -new pr.txt -alloc-threshold 0
+//	benchcheck -new pr.txt -max-allocs 'BenchmarkPlanScoreLargeCatalog/warm/candidates=1000=0'
+//
+// With -benchmem output on both sides, -alloc-threshold gates the median
+// allocs/op growth the same way -threshold gates ns/op (negative, the
+// default, disables it; benchmarks lacking memory columns on either side
+// are skipped). -max-allocs imposes absolute allocs/op ceilings on the
+// candidate alone — 'name=cap,name=cap', names may omit the -N GOMAXPROCS
+// suffix — so a zero-allocation contract holds even with no baseline;
+// with -max-allocs, -old is optional. A cap whose benchmark is missing
+// (or ran without -benchmem) fails the check.
 //
 // Benchmarks present in only one file are reported but never fail the
 // check (new benchmarks have no baseline; deleted ones have no new value).
@@ -19,31 +30,43 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 )
 
 func main() {
 	var (
-		oldPath   = flag.String("old", "", "baseline bench output (main branch)")
-		newPath   = flag.String("new", "", "candidate bench output (PR branch)")
-		threshold = flag.Float64("threshold", 0.20, "maximum tolerated fractional ns/op increase")
-		jsonPath  = flag.String("json", "", "write the JSON report here (default stdout)")
+		oldPath        = flag.String("old", "", "baseline bench output (main branch); optional with -max-allocs")
+		newPath        = flag.String("new", "", "candidate bench output (PR branch)")
+		threshold      = flag.Float64("threshold", 0.20, "maximum tolerated fractional ns/op increase")
+		allocThreshold = flag.Float64("alloc-threshold", -1, "maximum tolerated fractional allocs/op increase (negative disables)")
+		maxAllocs      = flag.String("max-allocs", "", "absolute allocs/op ceilings on the candidate: 'name=cap,name=cap'")
+		jsonPath       = flag.String("json", "", "write the JSON report here (default stdout)")
 	)
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchcheck: need -old and -new")
+	if *newPath == "" || (*oldPath == "" && *maxAllocs == "") {
+		fmt.Fprintln(os.Stderr, "benchcheck: need -new, and -old unless -max-allocs is given")
 		os.Exit(2)
 	}
-	oldData, err := os.ReadFile(*oldPath)
+	caps, err := parseCaps(*maxAllocs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		os.Exit(2)
+	}
+	var oldData []byte
+	if *oldPath != "" {
+		oldData, err = os.ReadFile(*oldPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	newData, err := os.ReadFile(*newPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		os.Exit(2)
 	}
-	report, err := Compare(oldData, newData, *threshold)
+	report, err := Compare(oldData, newData, *threshold, *allocThreshold, caps)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		os.Exit(2)
@@ -64,17 +87,54 @@ func main() {
 	}
 	for _, b := range report.Benchmarks {
 		mark := " "
-		if b.Regression {
+		if b.Regression || b.AllocRegression {
 			mark = "!"
 		}
-		fmt.Fprintf(os.Stderr, "%s %-60s %12.0f → %12.0f ns/op (%+.1f%%)\n",
+		line := fmt.Sprintf("%s %-60s %12.0f → %12.0f ns/op (%+.1f%%)",
 			mark, b.Name, b.OldNsOp, b.NewNsOp, 100*b.Delta)
+		if b.OldAllocsOp != nil && b.NewAllocsOp != nil {
+			line += fmt.Sprintf("   %.0f → %.0f allocs/op", *b.OldAllocsOp, *b.NewAllocsOp)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	for _, c := range report.AllocCaps {
+		switch {
+		case c.Missing:
+			fmt.Fprintf(os.Stderr, "! %-60s no -benchmem sample for cap %.0f allocs/op\n", c.Name, c.Cap)
+		case c.Violation:
+			fmt.Fprintf(os.Stderr, "! %-60s %.0f allocs/op exceeds cap %.0f\n", c.Name, c.AllocsOp, c.Cap)
+		default:
+			fmt.Fprintf(os.Stderr, "  %-60s %.0f allocs/op within cap %.0f\n", c.Name, c.AllocsOp, c.Cap)
+		}
 	}
 	if n := len(report.Regressions); n > 0 {
-		fmt.Fprintf(os.Stderr, "benchcheck: %d benchmark(s) regressed more than %.0f%%: %v\n",
-			n, 100**threshold, report.Regressions)
+		fmt.Fprintf(os.Stderr, "benchcheck: %d benchmark(s) regressed or broke an alloc cap: %v\n",
+			n, report.Regressions)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchcheck: %d benchmark(s) within the %.0f%% budget\n",
-		len(report.Benchmarks), 100**threshold)
+	fmt.Fprintf(os.Stderr, "benchcheck: %d benchmark(s) within budget (%d alloc cap(s) held)\n",
+		len(report.Benchmarks), len(report.AllocCaps))
+}
+
+// parseCaps parses the -max-allocs value: comma-separated name=cap pairs.
+func parseCaps(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		// The cap value follows the *last* '=': benchmark names carry
+		// '=' themselves (sub-bench labels like candidates=1000).
+		i := strings.LastIndexByte(part, '=')
+		if i <= 0 || i == len(part)-1 {
+			return nil, fmt.Errorf("bad -max-allocs entry %q (want name=cap)", part)
+		}
+		ceiling, err := strconv.ParseFloat(part[i+1:], 64)
+		if err != nil || ceiling < 0 {
+			return nil, fmt.Errorf("bad -max-allocs cap in %q", part)
+		}
+		out[part[:i]] = ceiling
+	}
+	return out, nil
 }

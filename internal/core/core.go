@@ -23,6 +23,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/dl"
@@ -45,7 +46,12 @@ type Request struct {
 	Candidates []string
 	Threshold  float64 // drop results with Score <= Threshold (0 keeps all)
 	Limit      int     // keep at most Limit results (0 = unlimited)
-	Explain    bool    // attach per-rule explanations (traceability, §6)
+	// TopK, when positive, asks for only the best k results. Every ranker
+	// returns exactly the first k of its full result list (the compiled
+	// plan selects them with a bounded heap instead of a full sort); 0
+	// disables, negative is an error.
+	TopK    int
+	Explain bool // attach per-rule explanations (traceability, §6)
 }
 
 // Result is one scored candidate.
@@ -140,6 +146,9 @@ func resolveCandidates(l *mapping.Loader, req Request) ([]string, error) {
 	if req.User == "" {
 		return nil, fmt.Errorf("core: request without a user")
 	}
+	if req.TopK < 0 {
+		return nil, fmt.Errorf("core: top-k must be positive (got %d)", req.TopK)
+	}
 	var candidates []string
 	switch {
 	case req.Candidates != nil:
@@ -166,14 +175,12 @@ func resolveCandidates(l *mapping.Loader, req Request) ([]string, error) {
 	return candidates, nil
 }
 
-// finalize sorts, thresholds and truncates results.
+// finalize sorts, thresholds and truncates results. TopK and Limit both
+// keep a prefix of the sorted order, so here they collapse to the smaller
+// positive bound — the plan path gets the same semantics from its bounded
+// heap without sorting the whole catalog.
 func finalize(req Request, results []Result) []Result {
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Score != results[j].Score {
-			return results[i].Score > results[j].Score
-		}
-		return results[i].ID < results[j].ID
-	})
+	slices.SortFunc(results, compareResults)
 	if req.Threshold > 0 {
 		kept := results[:0]
 		for _, r := range results {
@@ -183,8 +190,12 @@ func finalize(req Request, results []Result) []Result {
 		}
 		results = kept
 	}
-	if req.Limit > 0 && len(results) > req.Limit {
-		results = results[:req.Limit]
+	limit := req.Limit
+	if req.TopK > 0 && (limit == 0 || req.TopK < limit) {
+		limit = req.TopK
+	}
+	if limit > 0 && len(results) > limit {
+		results = results[:limit]
 	}
 	return results
 }

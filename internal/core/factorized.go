@@ -93,6 +93,7 @@ func (r *FactorizedRanker) Rank(req Request) ([]Result, error) {
 		Candidates: req.Candidates,
 		Threshold:  req.Threshold,
 		Limit:      req.Limit,
+		TopK:       req.TopK,
 		Explain:    req.Explain,
 	})
 }

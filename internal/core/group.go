@@ -82,6 +82,8 @@ func GroupRank(ranker Ranker, req GroupRequest) ([]GroupResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		sc := getScratch()
+		defer putScratch(sc)
 		for _, user := range req.Users {
 			plan, err := CompilePlan(fr.loader, user, req.RulesFor[user])
 			if err != nil {
@@ -99,7 +101,7 @@ func GroupRank(ranker Ranker, req GroupRequest) ([]GroupResult, error) {
 				return nil, fmt.Errorf("core: group member %s: %w", user, err)
 			}
 			for _, id := range candidates {
-				score, err := plan.Score(id)
+				score, err := plan.ScoreWith(sc, id)
 				if err != nil {
 					return nil, fmt.Errorf("core: group member %s: %w", user, err)
 				}

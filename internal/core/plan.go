@@ -2,6 +2,10 @@ package core
 
 import (
 	"fmt"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dl"
 	"repro/internal/event"
@@ -31,14 +35,24 @@ import (
 //  4. Per multi-rule cluster the 2^m context-state probability table is
 //     precomputed; singleton clusters store the scalar context probability.
 //
-// Score then evaluates only the document-state distribution per candidate.
-// A Plan is immutable after compilation and safe for concurrent use, but it
-// answers for the state it was compiled against: the context-state
-// distribution is frozen at compile time, so a plan used after the context
-// changed keeps ranking under the old context, and a plan whose document
-// events were retired (data mutation) fails with "not declared". Callers
-// that reuse plans must therefore invalidate them on every data *and*
-// context epoch — internal/serve's plan cache keys them by exactly those.
+// Score then evaluates only the document-state distribution per candidate,
+// and memoizes it: each candidate's per-cluster document-side distribution
+// is cached inside the plan (keyed by the event space's invalidation
+// generation), so repeat ranks over a stable catalog skip the doc-side
+// Prob calls entirely and reduce to pure float arithmetic.
+//
+// A Plan is immutable after compilation apart from its internal caches and
+// safe for concurrent use, but it answers for the state it was compiled
+// against: the context-state distribution is frozen at compile time, so a
+// plan used after the context changed keeps ranking under the old context;
+// a plan whose document events were retired (data mutation) fails with
+// "not declared" (the cached distributions are invalidated by the space's
+// generation counter, so retirement surfaces as an error, never as a stale
+// score); and a Target's resolved candidate list is cached per generation,
+// so data asserted without any event-space change becomes visible only to
+// freshly compiled plans. Callers that reuse plans must therefore
+// invalidate them on every data *and* context epoch — internal/serve's
+// plan cache keys them by exactly those.
 type Plan struct {
 	loader *mapping.Loader
 	space  *event.Space
@@ -46,7 +60,30 @@ type Plan struct {
 
 	rules    []planRule    // every requested rule, in request order
 	clusters []planCluster // active (unpruned) rules only
+	distLen  int           // floats per candidate in the doc-distribution cache
+
+	// Document-side distribution cache: candidate id -> flat per-cluster
+	// distribution (planCluster.distOff slices it). Entries are valid for
+	// the space generation docGen was stamped with; any advance wipes the
+	// map wholesale, which re-runs Prob and therefore re-surfaces "not
+	// declared" for retired events instead of masking them.
+	docMu   sync.RWMutex
+	docGen  uint64
+	docDist map[string][]float64
+
+	// Candidate-resolution cache for Target-based requests, same
+	// generation discipline. One slot suffices: a plan is keyed by (user,
+	// rules, epoch) upstream and virtually always ranks one target.
+	candMu     sync.RWMutex
+	candGen    uint64
+	candTarget *dl.Expr
+	candIDs    []string
 }
+
+// docCacheMaxEntries bounds the per-plan distribution cache so a plan
+// ranking an unbounded stream of ad-hoc candidate lists cannot grow
+// without limit. Past the bound scoring still works, it just recomputes.
+const docCacheMaxEntries = 1 << 17
 
 // planRule is one rule's candidate-independent compilation product.
 type planRule struct {
@@ -74,7 +111,72 @@ type planCluster struct {
 	// cluster's rules (index = bitmask of "rule context applies"); nil for
 	// singleton clusters, whose factor uses ctxProb directly.
 	ctxProbs []float64
+	// distOff is the cluster's offset into a candidate's flat document
+	// distribution: 1 slot (P(docEv)) for singletons, 2^m slots (the
+	// document-state table) for an m-rule cluster.
+	distOff int
 }
+
+// PlanScratch holds the per-request temporaries of the rank hot path —
+// conjunction buffers, the result accumulator, the top-k heap — so a
+// caller ranking in a loop allocates nothing per call. A scratch is
+// single-goroutine state: use one per goroutine (Plan itself stays safe
+// for concurrent use). Results returned by RankInto alias the scratch and
+// are valid until its next use.
+type PlanScratch struct {
+	docConj []*event.Expr
+	results []Result
+}
+
+// NewPlanScratch returns an empty scratch arena. Plan.Rank and Plan.Score
+// draw from an internal pool automatically; allocate explicitly only for
+// the zero-allocation RankInto path.
+func NewPlanScratch() *PlanScratch { return &PlanScratch{} }
+
+// Hot-path effectiveness counters, process-global like runtime metrics:
+// plans come and go through caches, so per-plan counts cannot be
+// aggregated reliably by callers. Exposed through ReadHotPathStats.
+var (
+	scratchGets    atomic.Int64
+	scratchNews    atomic.Int64
+	docCacheHits   atomic.Int64
+	docCacheMisses atomic.Int64
+)
+
+// HotPathStats reports how effective the rank hot path's scratch pool and
+// document-distribution caches are, cumulatively for the process.
+type HotPathStats struct {
+	// ScratchGets counts internal scratch-pool checkouts; ScratchNews the
+	// subset that had to allocate a fresh arena (pool empty / GC'd).
+	ScratchGets int64 `json:"scratch_gets"`
+	ScratchNews int64 `json:"scratch_news"`
+	// DocCacheHits/Misses count candidate scorings served from a plan's
+	// cached document-side distribution vs. recomputed via Space.Prob.
+	DocCacheHits   int64 `json:"doc_cache_hits"`
+	DocCacheMisses int64 `json:"doc_cache_misses"`
+}
+
+// ReadHotPathStats returns the process-wide hot-path counters.
+func ReadHotPathStats() HotPathStats {
+	return HotPathStats{
+		ScratchGets:    scratchGets.Load(),
+		ScratchNews:    scratchNews.Load(),
+		DocCacheHits:   docCacheHits.Load(),
+		DocCacheMisses: docCacheMisses.Load(),
+	}
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	scratchNews.Add(1)
+	return &PlanScratch{}
+}}
+
+func getScratch() *PlanScratch {
+	scratchGets.Add(1)
+	return scratchPool.Get().(*PlanScratch)
+}
+
+func putScratch(sc *PlanScratch) { scratchPool.Put(sc) }
 
 // CompilePlan resolves and compiles the rules for one situated user. The
 // compile cost is paid once per (user, rule set, context epoch) instead of
@@ -221,6 +323,20 @@ func (p *Plan) compileClusters(only map[string]bool) error {
 		}
 		p.clusters = append(p.clusters, cl)
 	}
+
+	// Lay out the flat document-distribution record: 1 slot per singleton,
+	// 2^m per m-rule cluster.
+	off := 0
+	for i := range p.clusters {
+		p.clusters[i].distOff = off
+		if m := len(p.clusters[i].rules); m > 1 {
+			off += 1 << m
+		} else {
+			off++
+		}
+	}
+	p.distLen = off
+	p.docDist = make(map[string][]float64)
 	return nil
 }
 
@@ -244,49 +360,112 @@ func (p *Plan) ActiveRules() int {
 // plan's compiled rule set: only the document-side distribution is
 // evaluated here, the context side was resolved at compile time.
 func (p *Plan) Score(id string) (float64, error) {
+	sc := getScratch()
+	defer putScratch(sc)
+	return p.ScoreWith(sc, id)
+}
+
+// ScoreWith is Score with a caller-owned scratch arena, for scoring loops
+// that must not allocate. The scratch must not be shared across goroutines.
+func (p *Plan) ScoreWith(sc *PlanScratch, id string) (float64, error) {
+	dist, err := p.docDistFor(sc, id)
+	if err != nil {
+		return 0, err
+	}
 	score := 1.0
 	for i := range p.clusters {
-		f, err := p.clusterScore(&p.clusters[i], id)
-		if err != nil {
-			return 0, err
-		}
-		score *= f
+		score *= p.clusterScoreFromDist(&p.clusters[i], dist)
 	}
 	return score, nil
 }
 
-// clusterScore computes one cluster's expected factor for the candidate —
-// the same §3.3 semantics as the pre-plan clusterFactor, with the
-// context-side tables read instead of recomputed.
-func (p *Plan) clusterScore(cl *planCluster, id string) (float64, error) {
+// docDistFor returns the candidate's flat per-cluster document-state
+// distribution, cached per space generation. A warm hit is one RLock and
+// zero allocations; a miss computes via Space.Prob and publishes the
+// record for subsequent ranks.
+func (p *Plan) docDistFor(sc *PlanScratch, id string) ([]float64, error) {
+	gen := p.space.Generation()
+	p.docMu.RLock()
+	if p.docGen == gen {
+		if d, ok := p.docDist[id]; ok {
+			p.docMu.RUnlock()
+			docCacheHits.Add(1)
+			return d, nil
+		}
+	}
+	p.docMu.RUnlock()
+	docCacheMisses.Add(1)
+
+	d := make([]float64, p.distLen)
+	if err := p.computeDocDist(sc, id, d); err != nil {
+		return nil, err
+	}
+	p.docMu.Lock()
+	if p.docGen < gen {
+		// The map holds records of an older generation; drop them all so a
+		// later generation match can never read a pre-invalidation value.
+		clear(p.docDist)
+		p.docGen = gen
+	}
+	if p.docGen == gen && len(p.docDist) < docCacheMaxEntries {
+		p.docDist[id] = d
+	}
+	p.docMu.Unlock()
+	return d, nil
+}
+
+// computeDocDist fills out with the candidate's document-side distribution
+// for every cluster — the only part of scoring that consults the event
+// space. Semantics are identical to the pre-cache clusterScore: the same
+// expressions are built, so the space's memo keys match too.
+func (p *Plan) computeDocDist(sc *PlanScratch, id string, out []float64) error {
+	for ci := range p.clusters {
+		cl := &p.clusters[ci]
+		if len(cl.rules) == 1 {
+			pX, err := p.space.Prob(p.rules[cl.rules[0]].docEv(id))
+			if err != nil {
+				return err
+			}
+			out[cl.distOff] = pX
+			continue
+		}
+		m := len(cl.rules)
+		if cap(sc.docConj) < m {
+			sc.docConj = make([]*event.Expr, m)
+		}
+		docConj := sc.docConj[:m]
+		for mask := 0; mask < 1<<m; mask++ {
+			for i, ri := range cl.rules {
+				if mask&(1<<i) != 0 {
+					docConj[i] = p.rules[ri].docEv(id)
+				} else {
+					docConj[i] = event.Not(p.rules[ri].docEv(id))
+				}
+			}
+			prob, err := p.space.Prob(event.And(docConj...))
+			if err != nil {
+				return err
+			}
+			out[cl.distOff+mask] = prob
+		}
+	}
+	return nil
+}
+
+// clusterScoreFromDist computes one cluster's expected factor from the
+// candidate's cached document distribution — the same §3.3 semantics as
+// the pre-plan clusterFactor, now pure float arithmetic.
+func (p *Plan) clusterScoreFromDist(cl *planCluster, dist []float64) float64 {
 	if len(cl.rules) == 1 {
 		// Singleton fast path: factor = (1−pC) + pC·(σ·pX + (1−σ)(1−pX)).
 		st := &p.rules[cl.rules[0]]
-		pX, err := p.space.Prob(st.docEv(id))
-		if err != nil {
-			return 0, err
-		}
+		pX := dist[cl.distOff]
 		s := st.rule.Sigma
 		pC := st.ctxProb
-		return (1 - pC) + pC*(s*pX+(1-s)*(1-pX)), nil
+		return (1 - pC) + pC*(s*pX+(1-s)*(1-pX))
 	}
 	m := len(cl.rules)
-	docProbs := make([]float64, 1<<m)
-	for mask := 0; mask < 1<<m; mask++ {
-		docConj := make([]*event.Expr, m)
-		for i, ri := range cl.rules {
-			if mask&(1<<i) != 0 {
-				docConj[i] = p.rules[ri].docEv(id)
-			} else {
-				docConj[i] = event.Not(p.rules[ri].docEv(id))
-			}
-		}
-		prob, err := p.space.Prob(event.And(docConj...))
-		if err != nil {
-			return 0, err
-		}
-		docProbs[mask] = prob
-	}
+	docProbs := dist[cl.distOff : cl.distOff+1<<m]
 	total := 0.0
 	for g := 0; g < 1<<m; g++ {
 		if cl.ctxProbs[g] == 0 {
@@ -312,7 +491,7 @@ func (p *Plan) clusterScore(cl *planCluster, id string) (float64, error) {
 		}
 		total += cl.ctxProbs[g] * inner
 	}
-	return total, nil
+	return total
 }
 
 // Explain builds the per-rule contribution trace for one candidate from
@@ -350,34 +529,179 @@ type PlanRequest struct {
 	Candidates []string // explicit candidate list (see Request.Candidates)
 	Threshold  float64
 	Limit      int
-	Explain    bool
+	// TopK, when positive, selects the best k results with a bounded heap
+	// instead of sorting the whole catalog. The output is exactly the
+	// first k of the full-sort result (same order, same tie-breaking); a k
+	// past the candidate count degrades to a full sort. 0 disables;
+	// negative is an error.
+	TopK    int
+	Explain bool
+}
+
+// compareResults is the rank total order: score descending, then ID
+// ascending — strict for distinct candidates, so top-k selection under it
+// is bit-identical to truncating the full sort.
+func compareResults(a, b Result) int {
+	if a.Score != b.Score {
+		if a.Score > b.Score {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(a.ID, b.ID)
 }
 
 // Rank scores the request's candidates with the compiled plan and returns
-// them ordered, thresholded and truncated exactly like Ranker.Rank.
+// them ordered, thresholded and truncated exactly like Ranker.Rank. The
+// returned slice is freshly allocated and owned by the caller; loops that
+// must not allocate use RankInto.
 func (p *Plan) Rank(req PlanRequest) ([]Result, error) {
-	candidates, err := resolveCandidates(p.loader, Request{
-		User:       p.user,
-		Target:     req.Target,
-		Candidates: req.Candidates,
-	})
+	sc := getScratch()
+	defer putScratch(sc)
+	res, err := p.rankInto(sc, req)
 	if err != nil {
 		return nil, err
 	}
-	results := make([]Result, 0, len(candidates))
+	out := make([]Result, len(res))
+	copy(out, res)
+	return out, nil
+}
+
+// RankInto is Rank with a caller-owned scratch arena: with a warm
+// document-distribution cache the whole call performs zero allocations.
+// The returned results alias the scratch and are valid until its next
+// use; the scratch must not be shared across goroutines.
+func (p *Plan) RankInto(sc *PlanScratch, req PlanRequest) ([]Result, error) {
+	if sc == nil {
+		return nil, fmt.Errorf("core: rank with a nil scratch")
+	}
+	return p.rankInto(sc, req)
+}
+
+func (p *Plan) rankInto(sc *PlanScratch, req PlanRequest) ([]Result, error) {
+	if req.TopK < 0 {
+		return nil, fmt.Errorf("core: top-k must be positive (got %d)", req.TopK)
+	}
+	var candidates []string
+	var err error
+	if req.Candidates == nil && req.Target != nil {
+		candidates, err = p.candidatesFor(req.Target)
+	} else {
+		candidates, err = resolveCandidates(p.loader, Request{
+			User:       p.user,
+			Target:     req.Target,
+			Candidates: req.Candidates,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Limit and TopK truncate to the same prefix of the sorted order; the
+	// smaller positive one bounds the heap.
+	k := req.TopK
+	if req.Limit > 0 && (k == 0 || req.Limit < k) {
+		k = req.Limit
+	}
+	heap := req.TopK > 0
+
+	sc.results = sc.results[:0]
 	for _, id := range candidates {
-		score, err := p.Score(id)
+		score, err := p.ScoreWith(sc, id)
 		if err != nil {
 			return nil, err
 		}
-		res := Result{ID: id, Score: score}
-		if req.Explain {
-			res.Explanation, err = p.Explain(id)
+		if req.Threshold > 0 && score <= req.Threshold {
+			continue
+		}
+		if heap {
+			sc.pushTopK(k, Result{ID: id, Score: score})
+		} else {
+			sc.results = append(sc.results, Result{ID: id, Score: score})
+		}
+	}
+	slices.SortFunc(sc.results, compareResults)
+	if !heap && req.Limit > 0 && len(sc.results) > req.Limit {
+		sc.results = sc.results[:req.Limit]
+	}
+	if req.Explain {
+		for i := range sc.results {
+			ex, err := p.Explain(sc.results[i].ID)
 			if err != nil {
 				return nil, err
 			}
+			sc.results[i].Explanation = ex
 		}
-		results = append(results, res)
 	}
-	return finalize(Request{Threshold: req.Threshold, Limit: req.Limit}, results), nil
+	return sc.results, nil
+}
+
+// candidatesFor resolves a Target's member list, cached per space
+// generation so warm ranks skip the member walk and its allocations. Data
+// asserted without an event-space change stays invisible to an existing
+// plan (see the Plan freshness contract).
+func (p *Plan) candidatesFor(target *dl.Expr) ([]string, error) {
+	gen := p.space.Generation()
+	p.candMu.RLock()
+	if p.candGen == gen && p.candTarget != nil && dl.Equal(p.candTarget, target) {
+		ids := p.candIDs
+		p.candMu.RUnlock()
+		return ids, nil
+	}
+	p.candMu.RUnlock()
+	ids, err := resolveCandidates(p.loader, Request{User: p.user, Target: target})
+	if err != nil {
+		return nil, err
+	}
+	p.candMu.Lock()
+	if p.candGen <= gen {
+		p.candGen = gen
+		p.candTarget = target
+		p.candIDs = ids
+	}
+	p.candMu.Unlock()
+	return ids, nil
+}
+
+// pushTopK offers a result to the bounded selection heap living in
+// sc.results: a binary heap with the *worst* kept result at the root
+// (inverse of compareResults), so a better newcomer evicts the root in
+// O(log k). The heap is unordered until the final sort.
+func (sc *PlanScratch) pushTopK(k int, r Result) {
+	h := sc.results
+	if len(h) < k {
+		h = append(h, r)
+		// Sift up: a node worse than its parent moves toward the root.
+		i := len(h) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if compareResults(h[i], h[parent]) <= 0 {
+				break
+			}
+			h[i], h[parent] = h[parent], h[i]
+			i = parent
+		}
+		sc.results = h
+		return
+	}
+	if compareResults(r, h[0]) >= 0 {
+		return // not better than the worst kept result
+	}
+	h[0] = r
+	// Sift down: swap with the worse child while a child is worse.
+	i := 0
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h) && compareResults(h[l], h[worst]) > 0 {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h) && compareResults(h[r], h[worst]) > 0 {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
 }

@@ -93,6 +93,35 @@ func BenchmarkPlanScoreLargeCatalog(b *testing.B) {
 		})
 	}
 	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("warm/candidates=%d", n), func(b *testing.B) {
+			// The steady-state hot path: reused scratch, warm document-
+			// distribution cache, results aliased into the scratch arena.
+			// CI caps this at 0 allocs/op (benchcheck -max-allocs); any
+			// new allocation on the cached-plan score path fails the gate.
+			d, rules := planBenchSetup(b, n, 8)
+			plan, err := CompilePlan(d.Loader, d.User, rules)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc := NewPlanScratch()
+			req := PlanRequest{Target: dl.Atom("TvProgram")}
+			if _, err := plan.RankInto(sc, req); err != nil {
+				b.Fatal(err) // warm the doc-distribution + candidate caches
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := plan.RankInto(sc, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != n {
+					b.Fatalf("%d results, want %d", len(res), n)
+				}
+			}
+		})
+	}
+	for _, n := range []int{100, 1000} {
 		b.Run(fmt.Sprintf("legacy/candidates=%d", n), func(b *testing.B) {
 			d, rules := planBenchSetup(b, n, 8)
 			ranker := NewFactorizedRanker(d.Loader)
@@ -105,6 +134,47 @@ func BenchmarkPlanScoreLargeCatalog(b *testing.B) {
 				}
 				if len(res) != n {
 					b.Fatalf("%d results, want %d", len(res), n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanRankTopK prices top-k selection against the full sort over
+// a 10k-candidate catalog with a warm plan: the scoring work is identical,
+// so the whole delta is sort-and-copy vs the bounded heap. CI renames the
+// two sub-benchmarks to a common name and runs benchcheck with a negative
+// threshold, turning "top10 is at least 2× faster than full" into a gate.
+func BenchmarkPlanRankTopK(b *testing.B) {
+	const n = 10000
+	d, rules := planBenchSetup(b, n, 8)
+	plan, err := CompilePlan(d.Loader, d.User, rules)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := NewPlanScratch()
+	if _, err := plan.RankInto(sc, PlanRequest{Target: dl.Atom("TvProgram")}); err != nil {
+		b.Fatal(err) // warm the doc-distribution + candidate caches
+	}
+	for _, bench := range []struct {
+		name string
+		topk int
+		want int
+	}{
+		{"candidates=10000/full", 0, n},
+		{"candidates=10000/top10", 10, 10},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			req := PlanRequest{Target: dl.Atom("TvProgram"), TopK: bench.topk}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := plan.RankInto(sc, req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != bench.want {
+					b.Fatalf("%d results, want %d", len(res), bench.want)
 				}
 			}
 		})

@@ -321,6 +321,22 @@ func (s *Space) invalidateMentioning(names []string) {
 	s.cacheMu.Unlock()
 }
 
+// Generation returns the space's invalidation counter. It advances on
+// every mutation that could change (or invalidate) the probability of an
+// already-held expression — Retire, RetireGroup, DeclareExclusive — and
+// stays put on plain Declare, which provably cannot affect existing
+// expressions (see the comment in Declare). Callers that precompute
+// probabilities (the rank plans' document-distribution cache) snapshot the
+// generation and treat any advance as "recompute": a recompute over
+// retired events then fails with "not declared" exactly like a fresh Prob,
+// so the retirement contract is preserved rather than masked by a cache.
+func (s *Space) Generation() uint64 {
+	s.cacheMu.Lock()
+	gen := s.gen
+	s.cacheMu.Unlock()
+	return gen
+}
+
 // Prob computes the exact probability of e. It enumerates joint states of
 // the exclusive groups (and singleton events) that e mentions, so the cost is
 // exponential only in the number of *distinct correlated groups mentioned by

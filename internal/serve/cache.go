@@ -41,6 +41,8 @@ func rankKey(user, target, fingerprint string, epoch int64, opts contextrank.Ran
 	b.WriteByte('|')
 	b.WriteString(strconv.Itoa(opts.Limit))
 	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(opts.TopK))
+	b.WriteByte('|')
 	if opts.Explain {
 		b.WriteByte('e')
 	}

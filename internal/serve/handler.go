@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/serve/metrics"
@@ -34,8 +36,8 @@ const maxBodyBytes = 1 << 20
 //	PUT    /v1/sessions/{user}/context  {"measurements":[{"concept","prob",...}]}
 //	GET    /v1/sessions/{user}          session fingerprint + measurements
 //	DELETE /v1/sessions/{user}          end the session
-//	POST   /v1/rank                     {"user","target","algorithm","threshold","limit","explain"}
-//	GET    /v1/rank?user=&target=&...   same via query parameters
+//	POST   /v1/rank                     {"user","target","algorithm","threshold","limit","top_k","explain"}
+//	GET    /v1/rank?user=&target=&...   same via query parameters (including top_k)
 //	POST   /v1/rank/batch               {"user","algorithm","items":[{"target"|"candidates",...}]} (one plan compile)
 //	POST   /v1/query                    {"sql":"SELECT ..."} (read-only)
 //	POST   /v1/exec                     {"sql":"INSERT ..."} (write; bumps the epoch)
@@ -68,7 +70,7 @@ func NewHandlerFor(srv Backend) *Handler {
 	h.mux.HandleFunc("POST /v1/exec", h.exec)
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return h
 }
@@ -183,7 +185,11 @@ type rankRequest struct {
 	Algorithm string  `json:"algorithm,omitempty"`
 	Threshold float64 `json:"threshold,omitempty"`
 	Limit     int     `json:"limit,omitempty"`
-	Explain   bool    `json:"explain,omitempty"`
+	// TopK keeps only the best k results via the plan's bounded heap. A
+	// pointer so an explicit zero (meaningless: "best none") can be
+	// rejected while an absent field keeps the full-ranking default.
+	TopK    *int `json:"top_k,omitempty"`
+	Explain bool `json:"explain,omitempty"`
 }
 
 type rankResponse struct {
@@ -211,6 +217,7 @@ type rankItemJSON struct {
 	Candidates []string `json:"candidates,omitempty"`
 	Threshold  float64  `json:"threshold,omitempty"`
 	Limit      int      `json:"limit,omitempty"`
+	TopK       *int     `json:"top_k,omitempty"` // see rankRequest.TopK
 	Explain    bool     `json:"explain,omitempty"`
 }
 
@@ -252,7 +259,7 @@ func (h *Handler) declare(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int64{"epoch": epoch})
+	writeJSON(w, r, http.StatusOK, map[string]int64{"epoch": epoch})
 }
 
 func (h *Handler) assert(w http.ResponseWriter, r *http.Request) {
@@ -273,7 +280,7 @@ func (h *Handler) assert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int64{"epoch": epoch})
+	writeJSON(w, r, http.StatusOK, map[string]int64{"epoch": epoch})
 }
 
 func (h *Handler) listRules(w http.ResponseWriter, r *http.Request) {
@@ -287,7 +294,7 @@ func (h *Handler) listRules(w http.ResponseWriter, r *http.Request) {
 			Sigma:      rule.Sigma,
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"rules": out})
+	writeJSON(w, r, http.StatusOK, map[string]any{"rules": out})
 }
 
 func (h *Handler) addRules(w http.ResponseWriter, r *http.Request) {
@@ -304,7 +311,7 @@ func (h *Handler) addRules(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"added": added, "epoch": epoch})
+	writeJSON(w, r, http.StatusOK, map[string]any{"added": added, "epoch": epoch})
 }
 
 func (h *Handler) removeRule(w http.ResponseWriter, r *http.Request) {
@@ -313,7 +320,7 @@ func (h *Handler) removeRule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int64{"epoch": epoch})
+	writeJSON(w, r, http.StatusOK, map[string]int64{"epoch": epoch})
 }
 
 func (h *Handler) setSession(w http.ResponseWriter, r *http.Request) {
@@ -341,7 +348,7 @@ func (h *Handler) setSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"fingerprint": fp})
+	writeJSON(w, r, http.StatusOK, map[string]string{"fingerprint": fp})
 }
 
 func (h *Handler) getSession(w http.ResponseWriter, r *http.Request) {
@@ -362,7 +369,7 @@ func (h *Handler) getSession(w http.ResponseWriter, r *http.Request) {
 			Source:     m.Source,
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSON(w, r, http.StatusOK, map[string]any{
 		"user":         user,
 		"fingerprint":  fp,
 		"measurements": out,
@@ -374,7 +381,7 @@ func (h *Handler) dropSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "dropped"})
+	writeJSON(w, r, http.StatusOK, map[string]string{"status": "dropped"})
 }
 
 func (h *Handler) rankPost(w http.ResponseWriter, r *http.Request) {
@@ -409,12 +416,24 @@ func (h *Handler) rankGet(w http.ResponseWriter, r *http.Request) {
 		}
 		req.Limit = n
 	}
+	if v := q.Get("top_k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("serve: bad top_k %q", v))
+			return
+		}
+		req.TopK = &n
+	}
 	h.rank(w, r, req)
 }
 
 func (h *Handler) rank(w http.ResponseWriter, r *http.Request, req rankRequest) {
 	if req.User == "" || req.Target == "" {
 		writeError(w, r, http.StatusBadRequest, errors.New("serve: rank needs user and target"))
+		return
+	}
+	topK, ok := checkTopK(w, r, req.TopK, "top_k")
+	if !ok {
 		return
 	}
 	if !h.admitUser(w, r, req.User) {
@@ -424,6 +443,7 @@ func (h *Handler) rank(w http.ResponseWriter, r *http.Request, req rankRequest) 
 		Algorithm: contextrank.Algorithm(req.Algorithm),
 		Threshold: req.Threshold,
 		Limit:     req.Limit,
+		TopK:      topK,
 		Explain:   req.Explain,
 	}
 	results, meta, err := h.srv.Rank(req.User, req.Target, opts)
@@ -439,7 +459,7 @@ func (h *Handler) rank(w http.ResponseWriter, r *http.Request, req rankRequest) 
 		Shard:   meta.Shard,
 		Micros:  meta.Elapsed.Microseconds(),
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, r, http.StatusOK, out)
 }
 
 // resultsJSON renders ranked results for transport; /v1/rank and
@@ -472,11 +492,16 @@ func (h *Handler) rankBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	items := make([]RankItem, len(req.Items))
 	for i, it := range req.Items {
+		topK, ok := checkTopK(w, r, it.TopK, fmt.Sprintf("items[%d].top_k", i))
+		if !ok {
+			return
+		}
 		items[i] = RankItem{
 			Target:     it.Target,
 			Candidates: it.Candidates,
 			Threshold:  it.Threshold,
 			Limit:      it.Limit,
+			TopK:       topK,
 			Explain:    it.Explain,
 		}
 	}
@@ -501,7 +526,7 @@ func (h *Handler) rankBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Items[i] = ij
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, r, http.StatusOK, out)
 }
 
 func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
@@ -514,7 +539,7 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, sqlResultJSON(res))
+	writeJSON(w, r, http.StatusOK, sqlResultJSON(res))
 }
 
 func (h *Handler) exec(w http.ResponseWriter, r *http.Request) {
@@ -528,13 +553,13 @@ func (h *Handler) exec(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := sqlResultJSON(res)
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSON(w, r, http.StatusOK, map[string]any{
 		"cols": out.Cols, "rows": out.Rows, "epoch": epoch,
 	})
 }
 
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, h.srv.Stats())
+	writeJSON(w, r, http.StatusOK, h.srv.Stats())
 }
 
 // --- helpers ---------------------------------------------------------------
@@ -549,10 +574,62 @@ func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
 	return true
 }
 
-func writeJSON(w http.ResponseWriter, status int, payload any) {
+// checkTopK validates an optional top_k field: absent means "full
+// ranking" (0 downstream), explicit values must be positive. An explicit
+// zero or negative is a client error worth rejecting loudly — silently
+// treating 0 as "all" would mask a caller that meant to bound the
+// response and didn't.
+func checkTopK(w http.ResponseWriter, r *http.Request, v *int, field string) (int, bool) {
+	if v == nil {
+		return 0, true
+	}
+	if *v <= 0 {
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("serve: %s must be positive (got %d)", field, *v))
+		return 0, false
+	}
+	return *v, true
+}
+
+// jsonBufPool recycles response-encoding buffers across requests; the
+// rank path allocates nothing else for the response body, so pooling here
+// keeps the whole serve hot path allocation-light.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBufBytes caps buffers returned to the pool so one oversized
+// response (a full-catalog rank with explanations) cannot pin its
+// allocation for the life of the process.
+const maxPooledBufBytes = 1 << 20
+
+// writeJSON encodes payload into a pooled buffer *before* writing the
+// header: an encoding failure can still become a clean 500 with the
+// request ID instead of a truncated 200, and both encode and write
+// failures are recorded on the request's reqInfo so the access-log line
+// carries them.
+func writeJSON(w http.ResponseWriter, r *http.Request, status int, payload any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= maxPooledBufBytes {
+			jsonBufPool.Put(buf)
+		}
+	}()
+	if err := json.NewEncoder(buf).Encode(payload); err != nil {
+		noteEncodeError(r, fmt.Errorf("encode: %w", err))
+		buf.Reset()
+		resp := errorResponse{Error: "serve: response encoding failed"}
+		if info := requestInfo(r); info != nil {
+			resp.RequestID = info.id
+		}
+		_ = json.NewEncoder(buf).Encode(resp)
+		status = http.StatusInternalServerError
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(payload)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		// The client is gone or the connection broke mid-body; nothing to
+		// send them, but the access log should say the response was cut.
+		noteEncodeError(r, fmt.Errorf("write: %w", err))
+	}
 }
 
 func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
@@ -560,7 +637,7 @@ func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
 	if info := requestInfo(r); info != nil {
 		resp.RequestID = info.id
 	}
-	writeJSON(w, status, resp)
+	writeJSON(w, r, status, resp)
 }
 
 // writeShed writes the 429 shed response with its Retry-After hint

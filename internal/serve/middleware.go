@@ -23,9 +23,10 @@ import (
 // and error bodies are attributable. Handlers run on the request's own
 // goroutine, so plain fields need no synchronization.
 type reqInfo struct {
-	id    string
-	user  string
-	shard int // -1 until a routed operation reports its shard
+	id        string
+	user      string
+	shard     int    // -1 until a routed operation reports its shard
+	encodeErr string // first response encode/write failure, for the access log
 }
 
 type reqInfoKeyType struct{}
@@ -47,6 +48,16 @@ func annotate(r *http.Request, user string, shard int) {
 		if shard >= 0 {
 			info.shard = shard
 		}
+	}
+}
+
+// noteEncodeError records a response encode/write failure on the
+// request's reqInfo so the access-log line ties the failure to the
+// request ID. First error wins: the fallback-encode path may fail again
+// on the same broken connection, and the root cause is the useful one.
+func noteEncodeError(r *http.Request, err error) {
+	if info := requestInfo(r); info != nil && info.encodeErr == "" {
+		info.encodeErr = err.Error()
 	}
 }
 
@@ -120,6 +131,9 @@ type accessLine struct {
 	LatencyUS int64  `json:"latency_us"`
 	Bytes     int64  `json:"bytes"`
 	Remote    string `json:"remote,omitempty"`
+	// EncodeError is the response encode/write failure, if any; a line
+	// with this set describes a response the client did not fully receive.
+	EncodeError string `json:"encode_error,omitempty"`
 }
 
 func (s *logSink) write(line accessLine) {
@@ -188,17 +202,18 @@ func observe(next http.Handler, accessLog io.Writer, hm *httpMetrics) http.Handl
 		}
 		if sink != nil {
 			sink.write(accessLine{
-				TS:        started.UTC().Format(time.RFC3339Nano),
-				ID:        id,
-				Method:    r.Method,
-				Route:     route,
-				Path:      r.URL.Path,
-				Status:    rec.status,
-				Shard:     info.shard,
-				User:      info.user,
-				LatencyUS: elapsed.Microseconds(),
-				Bytes:     rec.bytes,
-				Remote:    r.RemoteAddr,
+				TS:          started.UTC().Format(time.RFC3339Nano),
+				ID:          id,
+				Method:      r.Method,
+				Route:       route,
+				Path:        r.URL.Path,
+				Status:      rec.status,
+				Shard:       info.shard,
+				User:        info.user,
+				LatencyUS:   elapsed.Microseconds(),
+				Bytes:       rec.bytes,
+				Remote:      r.RemoteAddr,
+				EncodeError: info.encodeErr,
 			})
 		}
 	})

@@ -85,6 +85,19 @@ func RegisterBackendMetrics(reg *metrics.Registry, b Backend) {
 			w.Sample("carserve_recovery_failed_total", float64(st.Recovery.Failed))
 		}
 
+		if st.HotPath != nil {
+			// Process-global rank hot-path counters (see core.HotPathStats):
+			// not per-shard, because every shard shares one scratch pool and
+			// one set of atomics.
+			hp := st.HotPath
+			w.Family("carserve_rank_scratch_total", "counter", "Rank scratch-arena acquisitions, by provenance (fresh = pool had to allocate).")
+			w.Sample("carserve_rank_scratch_total", float64(hp.ScratchGets-hp.ScratchNews), "result", "pooled")
+			w.Sample("carserve_rank_scratch_total", float64(hp.ScratchNews), "result", "fresh")
+			w.Family("carserve_doc_dist_cache_total", "counter", "Plan document-distribution cache lookups.")
+			w.Sample("carserve_doc_dist_cache_total", float64(hp.DocCacheHits), "result", "hit")
+			w.Sample("carserve_doc_dist_cache_total", float64(hp.DocCacheMisses), "result", "miss")
+		}
+
 		if st.Broadcast != nil {
 			w.Family("carserve_broadcast_writes_total", "counter", "Cross-shard vocabulary broadcasts.")
 			w.Sample("carserve_broadcast_writes_total", float64(st.Broadcast.Writes))

@@ -257,6 +257,7 @@ type RankItem struct {
 	Candidates []string // explicit candidate ids (the §5 query-integration shape)
 	Threshold  float64
 	Limit      int
+	TopK       int // keep only the best k (0 = all); see RankOptions.TopK
 	Explain    bool
 }
 
@@ -266,6 +267,7 @@ func (it RankItem) options(alg contextrank.Algorithm) contextrank.RankOptions {
 		Algorithm: alg,
 		Threshold: it.Threshold,
 		Limit:     it.Limit,
+		TopK:      it.TopK,
 		Explain:   it.Explain,
 	}
 }
@@ -678,6 +680,11 @@ type Stats struct {
 	// Broadcast describes cross-shard vocabulary writes; only a sharded
 	// backend fills it.
 	Broadcast *BroadcastStats `json:"broadcast,omitempty"`
+	// HotPath is the rank hot path's scratch-pool and document-
+	// distribution-cache effectiveness. The counters are process-global
+	// (see contextrank.HotPathStats), so a sharded backend reports them
+	// once on the aggregate and leaves per-shard entries nil.
+	HotPath *contextrank.HotPathStats `json:"hot_path,omitempty"`
 	// Shards is the per-shard breakdown (index = shard id); only a
 	// sharded backend fills it, and the outer struct is then the
 	// aggregate: requests/sessions/events sum, epoch/rules take the
@@ -791,5 +798,7 @@ func (s *Server) Stats() Stats {
 		js := j.Stats()
 		st.Journal = &js
 	}
+	hp := contextrank.ReadHotPathStats()
+	st.HotPath = &hp
 	return st
 }

@@ -335,7 +335,13 @@ func (c *Coordinator) Stats() serve.Stats {
 			merged := st.Journal.Merge(journalOrZero(agg.Journal))
 			agg.Journal = &merged
 		}
+		// The hot-path counters are process-global (one scratch pool, one
+		// set of atomics across all shards); summing per-shard copies would
+		// multiply them by N. Report them once on the aggregate.
+		agg.Shards[i].HotPath = nil
 	}
+	hp := contextrank.ReadHotPathStats()
+	agg.HotPath = &hp
 	b := &serve.BroadcastStats{Writes: c.bcastWrites.Load()}
 	if b.Writes > 0 {
 		b.MeanMicros = float64(c.bcastSumNs.Load()) / 1e3 / float64(b.Writes)
