@@ -1,0 +1,296 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// chaosConfig parametrizes the fault-injection experiment. It always
+// drives an external daemon: the faults are armed over /v1/chaos, so the
+// target must run with -chaos.
+type chaosConfig struct {
+	Target   string
+	Clients  int
+	Users    int
+	Duration time.Duration // per phase
+}
+
+// chaosPhase is one phase's client-side accounting: reads and writes are
+// tracked separately because the fault phase expects them to diverge —
+// reads keep serving from memory while writes shed 503 + Retry-After.
+type chaosPhase struct {
+	ReadsOK, ReadsFailed     int64
+	WritesOK, WritesShed     int64
+	WritesShedNoRetry        int64 // 503s missing the Retry-After header
+	WritesFailed             int64
+	Latencies                []time.Duration
+	FirstReadErr, FirstWrErr error
+}
+
+// runChaosLoadgen is the client side of the failure-domain story
+// (DESIGN.md §3.9): arm disk faults and a panic on a live daemon over
+// /v1/chaos and verify, from outside, that the blast radius stays
+// contained. Three phases:
+//
+//	baseline — no faults; reads and writes both succeed.
+//	fault    — journal writes and fsyncs fail (dead disk) and one rank
+//	           request panics: reads must keep serving from memory (the
+//	           panic costs exactly one 500), writes must shed with
+//	           503 + Retry-After, and the daemon must stay up.
+//	recover  — faults cleared; the disk probe re-arms the WAL and
+//	           writes succeed again.
+func runChaosLoadgen(cfg chaosConfig) error {
+	base := cfg.Target
+	if base == "" {
+		return fmt.Errorf("chaos: -target is required (a carserved started with -chaos)")
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Clients * 2,
+		MaxIdleConnsPerHost: cfg.Clients * 2,
+	}}
+
+	users := make([]string, cfg.Users)
+	for i := range users {
+		users[i] = fmt.Sprintf("chaos%04d", i)
+	}
+	if err := ensureSessions(client, base, users); err != nil {
+		return err
+	}
+
+	fmt.Printf("phase 1: BASELINE — %d clients, reads+writes for %s\n", cfg.Clients, cfg.Duration)
+	baseline := driveChaosPhase(client, base, users, cfg.Clients, cfg.Duration)
+
+	// Dead disk: every WAL write and fsync fails until cleared. One rank
+	// request also panics, proving per-request recovery.
+	faults := `{"faults":[
+		{"point":"fs.write","err":"ENOSPC","match":".wal"},
+		{"point":"fs.sync","err":"EIO","match":".wal"},
+		{"point":"rank.serve","panic":"chaos-injected","count":1}
+	]}`
+	if err := chaosPost(client, base+"/v1/chaos", faults); err != nil {
+		return fmt.Errorf("arming faults: %w", err)
+	}
+	fmt.Printf("phase 2: FAULT — journal ENOSPC+EIO armed, one rank panic\n")
+	fault := driveChaosPhase(client, base, users, cfg.Clients, cfg.Duration)
+
+	if err := chaosDelete(client, base+"/v1/chaos"); err != nil {
+		return fmt.Errorf("clearing faults: %w", err)
+	}
+	// The background disk probe re-arms the journal on its own clock;
+	// wait for /healthz to report healthy before measuring recovery.
+	state, err := waitHealthy(client, base, 15*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("phase 3: RECOVER — faults cleared, daemon %s\n", state)
+	recov := driveChaosPhase(client, base, users, cfg.Clients, cfg.Duration)
+
+	fmt.Printf("%-10s %10s %10s %10s %10s %10s %10s\n",
+		"phase", "reads_ok", "reads_err", "writes_ok", "shed", "wr_err", "p99(ms)")
+	rows := []struct {
+		name string
+		res  *chaosPhase
+	}{{"baseline", &baseline}, {"fault", &fault}, {"recover", &recov}}
+	for _, row := range rows {
+		fmt.Printf("%-10s %10d %10d %10d %10d %10d %10.2f\n",
+			row.name, row.res.ReadsOK, row.res.ReadsFailed, row.res.WritesOK,
+			row.res.WritesShed, row.res.WritesFailed, float64(readP99(row.res))/1e6)
+	}
+
+	// Machine-readable lines for the CI smoke (scripts/smoke_chaos.sh).
+	for _, row := range rows {
+		fmt.Printf("CHAOS phase=%s reads_ok=%d reads_err=%d writes_ok=%d writes_shed=%d shed_no_retry_after=%d writes_err=%d p99_ms=%.3f\n",
+			row.name, row.res.ReadsOK, row.res.ReadsFailed, row.res.WritesOK,
+			row.res.WritesShed, row.res.WritesShedNoRetry, row.res.WritesFailed,
+			float64(readP99(row.res))/1e6)
+	}
+
+	// The contract, asserted client-side so the smoke script only has to
+	// check the exit code and the summary lines.
+	if baseline.ReadsFailed > 0 || baseline.WritesFailed > 0 || baseline.WritesShed > 0 {
+		return fmt.Errorf("baseline not clean: %v %v", baseline.FirstReadErr, baseline.FirstWrErr)
+	}
+	if fault.ReadsFailed > 1 { // exactly one injected panic is allowed
+		return fmt.Errorf("reads failed under a disk-only fault (%d, first: %v)",
+			fault.ReadsFailed, fault.FirstReadErr)
+	}
+	if fault.WritesOK > 0 {
+		return fmt.Errorf("%d writes acked while the journal could not persist them", fault.WritesOK)
+	}
+	if fault.WritesShed == 0 {
+		return fmt.Errorf("no writes shed during the fault phase — faults did not engage")
+	}
+	if fault.WritesShedNoRetry > 0 {
+		return fmt.Errorf("%d shed writes missing Retry-After", fault.WritesShedNoRetry)
+	}
+	if recov.ReadsFailed > 0 || recov.WritesFailed > 0 || recov.WritesShed > 0 {
+		return fmt.Errorf("recovery not clean: %v %v", recov.FirstReadErr, recov.FirstWrErr)
+	}
+	if recov.WritesOK == 0 {
+		return fmt.Errorf("no write succeeded after recovery")
+	}
+	return nil
+}
+
+func readP99(p *chaosPhase) time.Duration {
+	pr := phaseResult{Latencies: p.Latencies}
+	return pr.percentile(0.99)
+}
+
+// driveChaosPhase runs clients goroutines for dur; every 5th request is
+// a session write, the rest are ranks.
+func driveChaosPhase(client *http.Client, base string, users []string, clients int, dur time.Duration) chaosPhase {
+	results := make([]chaosPhase, clients)
+	done := make(chan int, clients)
+	deadline := time.Now().Add(dur)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer func() { done <- c }()
+			local := &results[c]
+			for i := 0; time.Now().Before(deadline); i++ {
+				user := users[(c+i)%len(users)]
+				if i%5 == 4 {
+					chaosWrite(client, base, user, local)
+					continue
+				}
+				started := time.Now()
+				resp, err := client.Get(base + "/v1/rank?user=" + user + "&target=TvProgram&limit=3")
+				if err != nil {
+					local.ReadsFailed++
+					if local.FirstReadErr == nil {
+						local.FirstReadErr = err
+					}
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					local.ReadsOK++
+					local.Latencies = append(local.Latencies, time.Since(started))
+				} else {
+					local.ReadsFailed++
+					if local.FirstReadErr == nil {
+						local.FirstReadErr = fmt.Errorf("rank for %s: %s", user, resp.Status)
+					}
+				}
+			}
+		}(c)
+	}
+	var agg chaosPhase
+	for range results {
+		c := <-done
+		local := &results[c]
+		agg.ReadsOK += local.ReadsOK
+		agg.ReadsFailed += local.ReadsFailed
+		agg.WritesOK += local.WritesOK
+		agg.WritesShed += local.WritesShed
+		agg.WritesShedNoRetry += local.WritesShedNoRetry
+		agg.WritesFailed += local.WritesFailed
+		agg.Latencies = append(agg.Latencies, local.Latencies...)
+		if agg.FirstReadErr == nil {
+			agg.FirstReadErr = local.FirstReadErr
+		}
+		if agg.FirstWrErr == nil {
+			agg.FirstWrErr = local.FirstWrErr
+		}
+	}
+	return agg
+}
+
+func chaosWrite(client *http.Client, base, user string, local *chaosPhase) {
+	body := `{"measurements":[{"concept":"BenchCtx0","prob":1}]}`
+	req, err := http.NewRequest(http.MethodPut,
+		base+"/v1/sessions/"+user+"/context", bytes.NewBufferString(body))
+	if err != nil {
+		local.WritesFailed++
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		local.WritesFailed++
+		if local.FirstWrErr == nil {
+			local.FirstWrErr = err
+		}
+		return
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		local.WritesOK++
+	case http.StatusServiceUnavailable:
+		local.WritesShed++
+		if resp.Header.Get("Retry-After") == "" {
+			local.WritesShedNoRetry++
+		}
+		time.Sleep(25 * time.Millisecond)
+	case http.StatusTooManyRequests:
+		// Admission shed, not a journal fault; pace and move on.
+		time.Sleep(retryAfterDelay(resp, 25*time.Millisecond))
+	default:
+		local.WritesFailed++
+		if local.FirstWrErr == nil {
+			local.FirstWrErr = fmt.Errorf("write for %s: %s", user, resp.Status)
+		}
+	}
+}
+
+func chaosPost(client *http.Client, url, body string) error {
+	resp, err := client.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+	return nil
+}
+
+func chaosDelete(client *http.Client, url string) error {
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s", resp.Status)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for connection reuse
+	return nil
+}
+
+// waitHealthy polls /healthz until the aggregate state is "ok" (the
+// probe loop runs on -probe-interval, so recovery is not instant).
+func waitHealthy(client *http.Client, base string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	state := "unknown"
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			var body struct {
+				Status string `json:"status"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if err == nil {
+				state = body.Status
+				if state == "ok" {
+					return state, nil
+				}
+			}
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	return state, fmt.Errorf("daemon still %q after %s", state, timeout)
+}

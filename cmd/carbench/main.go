@@ -44,6 +44,14 @@
 // sessions should cost a few percent at most: the rank path never touches
 // the journal, and concurrent session applies share one fsync.
 //
+// chaos: the failure-domain demonstration — point the client at a running
+// carserved started with -chaos (-target), arm disk faults (journal writes
+// and fsyncs fail) plus one rank-path panic over /v1/chaos, and verify the
+// blast radius from outside: reads keep serving from memory, writes shed
+// 503 + Retry-After, the daemon never dies, and after clearing the faults
+// the disk probe re-arms the WAL and writes succeed again. Prints
+// machine-readable CHAOS lines consumed by scripts/smoke_chaos.sh.
+//
 // topk: the bounded-heap selection microbenchmark — one compiled plan
 // ranking a 10k-program catalog at each -topk value (0 = full ranking),
 // printing the ns/rank curve and the speedup over the full sort, plus the
@@ -72,7 +80,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, e1, e2, e3, a1, a2, a3, a4, serve, rankbatch, journal, overload, topk (load generators/microbenchmarks; not in 'all')")
+		exp      = flag.String("exp", "all", "experiment to run: all, e1, e2, e3, a1, a2, a3, a4, serve, rankbatch, journal, overload, topk, chaos (load generators/microbenchmarks; not in 'all')")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-point budget for sweeps (the paper aborted at 30min)")
 		maxRules = flag.Int("maxrules", 8, "largest rule count in the scalability sweeps")
 		small    = flag.Bool("small", false, "use the scaled-down dataset instead of the paper's ~11k tuples")
@@ -88,8 +96,8 @@ func main() {
 		batchSizes  = flag.String("batchsizes", "1,2,4,8,16", "rankbatch: comma-separated /v1/rank/batch item counts for the amortization curve")
 		topkList    = flag.String("topk", "0,10,100,1000", "topk: comma-separated top-k values for the selection curve (0 = full ranking baseline)")
 
-		target      = flag.String("target", "", "overload: base URL of a running carserved (empty boots an in-process daemon with the limits below)")
-		users       = flag.Int("users", 8, "overload: distinct user IDs the clients share (fewer users = harder per-user rate pressure)")
+		target      = flag.String("target", "", "overload/chaos: base URL of a running carserved (overload boots an in-process daemon when empty; chaos requires a target started with -chaos)")
+		users       = flag.Int("users", 8, "overload/chaos: distinct user IDs the clients share (fewer users = harder per-user rate pressure)")
 		lowclients  = flag.Int("lowclients", 2, "overload: paced clients in the recovery phase")
 		ratelimit   = flag.Float64("ratelimit", 50, "overload: per-user req/s budget for the in-process daemon")
 		maxinflight = flag.Int("maxinflight", 32, "overload: in-flight request cap for the in-process daemon")
@@ -283,6 +291,17 @@ func main() {
 			RateLimit:   *ratelimit,
 			MaxInFlight: *maxinflight,
 			MaxQueue:    *maxqueue,
+		}))
+	}
+
+	if strings.EqualFold(*exp, "chaos") {
+		ran = true
+		section("CHAOS — fault injection: reads in-SLO and writes shed 503 under disk faults, then full recovery")
+		exitOn(runChaosLoadgen(chaosConfig{
+			Target:   *target,
+			Clients:  *clients,
+			Users:    *users,
+			Duration: *benchdur,
 		}))
 	}
 

@@ -11,6 +11,9 @@
 //	          [-preload none|small|paper] [-rules 4]
 //	          [-metrics] [-ratelimit R] [-burst B]
 //	          [-maxinflight N] [-maxqueue Q] [-accesslog path|-]
+//	          [-degraded-on-disk-error] [-quarantine-after N]
+//	          [-probe-interval 1s] [-drain-timeout 10s]
+//	          [-request-timeout 30s] [-chaos] [-chaos-seed S]
 //
 // Observability and admission control (serve.NewHandlerWith): -metrics
 // serves Prometheus text exposition at GET /metrics (per-shard QPS, rank
@@ -69,6 +72,24 @@
 // also retires the previous snapshot's events (event.Space.Retire), so the
 // event space — observable as "events" on /v1/stats, summed across shards
 // — stays bounded by the live session vocabulary under arbitrary churn.
+//
+// The daemon degrades instead of dying (DESIGN.md §3.9). On a persistent
+// journal disk error it enters read-only degraded mode
+// (-degraded-on-disk-error, default on): mutations shed 503 + Retry-After
+// while ranks keep serving from memory, and a background probe
+// (-probe-interval) re-arms the WAL when the disk recovers. With
+// -quarantine-after N, a shard whose broadcast applies fail or panic N
+// times consecutively is fenced off, its users rerouted to healthy
+// replicas, and background repair replays the missed writes from a
+// healthy replica's WAL before readmission. Panics in requests or shard
+// applies are recovered and counted (carserve_panics_total). SIGTERM
+// drains new traffic for up to -drain-timeout before the shutdown
+// checkpoint; -request-timeout bounds every request end-to-end. /healthz
+// reports the aggregate and per-shard failure-domain state (always HTTP
+// 200 — a degraded daemon is alive, and restarting it would destroy the
+// in-memory state repair needs). -chaos arms the /v1/chaos
+// fault-injection surface (testing only; see carbench -exp chaos and
+// scripts/smoke_chaos.sh).
 package main
 
 import (
@@ -84,6 +105,7 @@ import (
 	"time"
 
 	contextrank "repro"
+	"repro/internal/faultinject"
 	"repro/internal/serve"
 	"repro/internal/serve/journal"
 	"repro/internal/serve/metrics"
@@ -109,6 +131,14 @@ func main() {
 		maxinflight = flag.Int("maxinflight", 0, "concurrently executing requests before new ones queue (0 disables the gate)")
 		maxqueue    = flag.Int("maxqueue", 0, "requests allowed to wait for an in-flight slot; beyond it requests are shed with 429 + Retry-After")
 		accesslog   = flag.String("accesslog", "", "JSON-lines request log destination: a file path, or '-' for stderr (empty disables)")
+
+		degradeOnErr  = flag.Bool("degraded-on-disk-error", true, "on a persistent journal write/fsync error, enter read-only degraded mode (mutations 503 + Retry-After, ranks keep serving) instead of failing every mutation until restart; a background probe re-arms the WAL when the disk recovers")
+		quarAfter     = flag.Int("quarantine-after", 0, "quarantine a shard after this many consecutive broadcast apply failures (or panics): its users are rerouted to healthy replicas and background repair replays the missed writes from the WAL before readmission (0 disables)")
+		probeInterval = flag.Duration("probe-interval", time.Second, "how often the background health probe retries degraded disks and quarantined-shard repair")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "on SIGTERM, how long to wait for in-flight requests to finish (new requests get 503 + Connection: close immediately) before the shutdown checkpoint")
+		reqTimeout    = flag.Duration("request-timeout", 30*time.Second, "per-request deadline, admission queueing included; propagated via the request context and connection deadlines (0 disables)")
+		chaosOn       = flag.Bool("chaos", false, "arm the fault-injection surface: POST/GET/DELETE /v1/chaos manage runtime faults in the journal filesystem, broadcast and rank paths (testing only — armed faults are real outages)")
+		chaosSeed     = flag.Int64("chaos-seed", 1, "PRNG seed for rate-triggered chaos faults (with -chaos)")
 	)
 	flag.Parse()
 
@@ -116,9 +146,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("carserved: %v", err)
 	}
-	coord, err := shard.New(*shards, build, serve.Options{CacheSize: *cache})
+	coord, err := shard.New(*shards, build, serve.Options{CacheSize: *cache, DegradeOnDiskError: *degradeOnErr})
 	if err != nil {
 		log.Fatalf("carserved: %v", err)
+	}
+	coord.SetQuarantineAfter(*quarAfter)
+
+	var chaos *faultinject.Injector
+	jopts := journal.Options{}
+	if *chaosOn {
+		chaos = faultinject.New(*chaosSeed)
+		coord.SetFaultInjector(chaos)
+		jopts.FS = faultinject.FS(chaos, nil)
+		log.Printf("carserved: chaos surface armed at /v1/chaos (seed=%d)", *chaosSeed)
 	}
 
 	if *snapdir != "" {
@@ -126,7 +166,7 @@ func main() {
 		// a previous incarnation journaled (session records are routed, so
 		// a changed -shards value reassigns users correctly; vocabulary
 		// records are re-broadcast and deduplicated by broadcast id).
-		rs, err := coord.Recover(*snapdir, journal.Options{})
+		rs, err := coord.Recover(*snapdir, jopts)
 		if err != nil {
 			log.Fatalf("carserved: recovering journal: %v", err)
 		}
@@ -164,6 +204,14 @@ func main() {
 		log.Printf("carserved: background checkpointer armed (interval=%s bytes=%d)", *ckptInterval, *ckptBytes)
 	}
 
+	var stopProbe func()
+	if *degradeOnErr || *quarAfter > 0 {
+		stopProbe = coord.StartHealthProbe(*probeInterval, func(line string) {
+			log.Printf("carserved: %s", line)
+		})
+	}
+
+	drain := &serve.DrainGate{}
 	hopts := serve.HandlerOptions{
 		Admission: serve.NewAdmission(serve.AdmissionOptions{
 			MaxInFlight:  *maxinflight,
@@ -171,6 +219,9 @@ func main() {
 			PerUserRate:  *ratelimit,
 			PerUserBurst: *burst,
 		}),
+		Drain:          drain,
+		RequestTimeout: *reqTimeout,
+		Chaos:          chaos,
 	}
 	if *metricsOn {
 		hopts.Metrics = metrics.NewRegistry()
@@ -193,6 +244,7 @@ func main() {
 		Addr:              *addr,
 		Handler:           serve.NewHandlerWith(coord, hopts),
 		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 
 	go func() {
@@ -207,10 +259,19 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// Drain first: new API requests get 503 + Connection: close the
+	// instant the signal lands, then Shutdown waits (bounded) for
+	// in-flight ones — so the shutdown checkpoint below runs with no
+	// request mid-apply.
+	drain.Start()
+	log.Printf("carserved: draining (timeout %s)", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("carserved: shutdown: %v", err)
+	}
+	if stopProbe != nil {
+		stopProbe()
 	}
 	if stopCkpt != nil {
 		// Stopped before the final save so the shutdown checkpoint cannot
@@ -219,14 +280,18 @@ func main() {
 	}
 	if *snapdir != "" {
 		if err := coord.SaveSnapshots(*snapdir); err != nil {
-			log.Fatalf("carserved: saving snapshots: %v", err)
+			// Not fatal: a quarantined shard refuses the checkpoint, and
+			// the journal already holds everything — the next boot replays
+			// it on top of the previous snapshot.
+			log.Printf("carserved: saving snapshots: %v (journal retains full state)", err)
+		} else {
+			log.Printf("carserved: saved %d shard snapshot(s) to %s", coord.N(), *snapdir)
 		}
 		// Closed after the snapshot: the journal outlives the dump, so a
 		// crash during SaveSnapshots still recovers sessions on reboot.
 		if err := coord.CloseJournals(); err != nil {
 			log.Printf("carserved: closing session journals: %v", err)
 		}
-		log.Printf("carserved: saved %d shard snapshot(s) to %s", coord.N(), *snapdir)
 	}
 	st := coord.Stats()
 	log.Printf("carserved: served %d rank requests across %d shards, cache %s, epoch %d",

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -96,6 +97,13 @@ func NewAdmission(opts AdmissionOptions) *Admission {
 // returned release must be called exactly once when the request
 // finishes.
 func (a *Admission) Acquire() (release func(), ok bool, retryAfter time.Duration) {
+	return a.AcquireCtx(context.Background())
+}
+
+// AcquireCtx is Acquire bounded by a context: a request whose deadline
+// expires (or whose client disconnects) while it waits in the queue is
+// shed instead of holding its queue slot for work nobody will read.
+func (a *Admission) AcquireCtx(ctx context.Context) (release func(), ok bool, retryAfter time.Duration) {
 	if a == nil || a.sem == nil {
 		return func() {}, true, 0
 	}
@@ -116,11 +124,17 @@ func (a *Admission) Acquire() (release func(), ok bool, retryAfter time.Duration
 		a.shedQueue.Add(1)
 		return nil, false, time.Second
 	}
-	a.sem <- struct{}{}
-	a.queued.Add(-1)
-	a.inflight.Add(1)
-	a.admitted.Add(1)
-	return release, true, 0
+	select {
+	case a.sem <- struct{}{}:
+		a.queued.Add(-1)
+		a.inflight.Add(1)
+		a.admitted.Add(1)
+		return release, true, 0
+	case <-ctx.Done():
+		a.queued.Add(-1)
+		a.shedQueue.Add(1)
+		return nil, false, time.Second
+	}
 }
 
 // AllowUser charges one request against the user's token bucket.

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/serve/metrics"
 	"repro/internal/sql"
 	"repro/internal/storage"
@@ -46,7 +47,8 @@ const maxBodyBytes = 1 << 20
 type Handler struct {
 	srv       Backend
 	mux       *http.ServeMux
-	admission *Admission // nil = no per-user rate limiting
+	admission *Admission            // nil = no per-user rate limiting
+	chaos     *faultinject.Injector // nil = no /v1/chaos endpoints
 }
 
 // NewHandler builds the HTTP API over a single server.
@@ -69,9 +71,7 @@ func NewHandlerFor(srv Backend) *Handler {
 	h.mux.HandleFunc("POST /v1/query", h.query)
 	h.mux.HandleFunc("POST /v1/exec", h.exec)
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
-	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	h.mux.HandleFunc("GET /healthz", h.healthz)
 	return h
 }
 
@@ -93,14 +93,31 @@ type HandlerOptions struct {
 	// Metrics, when set, is populated with the carserve_* series (backend
 	// stats, admission counters, HTTP surface) and served at GET /metrics.
 	Metrics *metrics.Registry
+	// Drain, when set, lets the owner flip the server into shutdown
+	// drain: new API requests get 503 + Connection: close while
+	// in-flight ones finish (see DrainGate).
+	Drain *DrainGate
+	// RequestTimeout bounds each API request end to end — admission
+	// queueing included — via the request context plus connection
+	// deadlines. 0 disables.
+	RequestTimeout time.Duration
+	// Chaos, when set, exposes the fault injector at /v1/chaos
+	// (GET = armed faults with counters, POST {"faults":[...]} = arm,
+	// DELETE = disarm all). Serving-side injection points (rank,
+	// broadcast, journal FS) must be wired to the same injector by the
+	// daemon. Never set it in production without authentication in
+	// front: armed faults are real outages.
+	Chaos *faultinject.Injector
 }
 
-// NewHandlerWith builds the HTTP API wrapped in the observability and
-// admission middleware: request-ID assignment and echo, structured
-// request logging, Prometheus metrics at /metrics, and load shedding.
+// NewHandlerWith builds the HTTP API wrapped in the production
+// middleware: request-ID assignment and echo, structured request
+// logging, Prometheus metrics at /metrics, panic containment, load
+// shedding, drain and per-request deadlines.
 func NewHandlerWith(srv Backend, opts HandlerOptions) http.Handler {
 	h := NewHandlerFor(srv)
 	h.admission = opts.Admission
+	h.chaos = opts.Chaos
 	var hm *httpMetrics
 	if opts.Metrics != nil {
 		RegisterBackendMetrics(opts.Metrics, srv)
@@ -108,7 +125,20 @@ func NewHandlerWith(srv Backend, opts HandlerOptions) http.Handler {
 		hm = newHTTPMetrics(opts.Metrics)
 		h.mux.Handle("GET /metrics", opts.Metrics.Handler())
 	}
-	return observe(admissionGate(h, opts.Admission), opts.AccessLog, hm)
+	if opts.Chaos != nil {
+		h.mux.HandleFunc("GET /v1/chaos", h.chaosList)
+		h.mux.HandleFunc("POST /v1/chaos", h.chaosArm)
+		h.mux.HandleFunc("DELETE /v1/chaos", h.chaosClear)
+	}
+	// Inside out: admission gates the handler; recoverPanics catches
+	// panics from both (admission's release still runs on the way up);
+	// the timeout wraps the queue wait too; drain refuses before any of
+	// that spends work; observe sees every outcome, drained and shed
+	// included, with route labels intact.
+	inner := recoverPanics(admissionGate(h, opts.Admission))
+	inner = requestTimeout(inner, opts.RequestTimeout)
+	inner = drainGate(inner, opts.Drain)
+	return observe(inner, opts.AccessLog, hm)
 }
 
 // admitUser charges the request against user's token bucket, writing the
@@ -256,7 +286,7 @@ func (h *Handler) declare(w http.ResponseWriter, r *http.Request) {
 	}
 	epoch, err := h.srv.Declare(req.Concepts, req.Roles, subs)
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, err)
+		writeMutationError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, r, http.StatusOK, map[string]int64{"epoch": epoch})
@@ -277,7 +307,7 @@ func (h *Handler) assert(w http.ResponseWriter, r *http.Request) {
 	}
 	epoch, err := h.srv.Assert(concepts, roles)
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, err)
+		writeMutationError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, r, http.StatusOK, map[string]int64{"epoch": epoch})
@@ -308,7 +338,7 @@ func (h *Handler) addRules(w http.ResponseWriter, r *http.Request) {
 	}
 	added, epoch, err := h.srv.AddRules(req.Rules)
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, err)
+		writeMutationError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, r, http.StatusOK, map[string]any{"added": added, "epoch": epoch})
@@ -317,7 +347,7 @@ func (h *Handler) addRules(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) removeRule(w http.ResponseWriter, r *http.Request) {
 	epoch, err := h.srv.RemoveRule(r.PathValue("name"))
 	if err != nil {
-		writeError(w, r, http.StatusNotFound, err)
+		writeMutationError(w, r, http.StatusNotFound, err)
 		return
 	}
 	writeJSON(w, r, http.StatusOK, map[string]int64{"epoch": epoch})
@@ -345,7 +375,7 @@ func (h *Handler) setSession(w http.ResponseWriter, r *http.Request) {
 	}
 	fp, err := h.srv.SetSession(user, ms)
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, err)
+		writeMutationError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, r, http.StatusOK, map[string]string{"fingerprint": fp})
@@ -378,7 +408,7 @@ func (h *Handler) getSession(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) dropSession(w http.ResponseWriter, r *http.Request) {
 	if err := h.srv.DropSession(r.PathValue("user")); err != nil {
-		writeError(w, r, http.StatusInternalServerError, err)
+		writeMutationError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, r, http.StatusOK, map[string]string{"status": "dropped"})
@@ -549,7 +579,7 @@ func (h *Handler) exec(w http.ResponseWriter, r *http.Request) {
 	}
 	res, epoch, err := h.srv.Exec(req.SQL)
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, err)
+		writeMutationError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	out := sqlResultJSON(res)
@@ -562,7 +592,96 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, r, http.StatusOK, h.srv.Stats())
 }
 
+// healthzShard is one shard's row in the /healthz detail.
+type healthzShard struct {
+	Shard  int    `json:"shard"`
+	State  string `json:"state"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// healthz reports liveness plus the failure-domain state. The status is
+// always 200 — a degraded or quarantined daemon is alive and serving
+// reads; restarting it (what orchestrators do with failing liveness
+// probes) would only destroy the in-memory state repair needs. The body
+// carries the aggregate state and per-shard detail for operators.
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
+	st := h.srv.Stats()
+	resp := map[string]any{"status": "ok"}
+	if st.Health != nil {
+		if st.Health.State != StateHealthy {
+			resp["status"] = st.Health.State
+		}
+		resp["health"] = st.Health
+	}
+	if len(st.Shards) > 0 {
+		rows := make([]healthzShard, len(st.Shards))
+		for i, ss := range st.Shards {
+			rows[i] = healthzShard{Shard: i, State: StateHealthy}
+			if ss.Health != nil {
+				rows[i].State = ss.Health.State
+				rows[i].Reason = ss.Health.Reason
+			}
+		}
+		resp["shards"] = rows
+	}
+	writeJSON(w, r, http.StatusOK, resp)
+}
+
+// --- chaos endpoints (wired only when HandlerOptions.Chaos is set) ---------
+
+type chaosArmRequest struct {
+	Faults []faultinject.Fault `json:"faults"`
+}
+
+func (h *Handler) chaosList(w http.ResponseWriter, r *http.Request) {
+	faults := h.chaos.Snapshot()
+	if faults == nil {
+		faults = []faultinject.FaultStatus{}
+	}
+	writeJSON(w, r, http.StatusOK, map[string]any{"faults": faults})
+}
+
+func (h *Handler) chaosArm(w http.ResponseWriter, r *http.Request) {
+	var req chaosArmRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Faults) == 0 {
+		writeError(w, r, http.StatusBadRequest, errors.New("serve: no faults in request"))
+		return
+	}
+	for _, f := range req.Faults {
+		if err := h.chaos.Arm(f); err != nil {
+			writeError(w, r, http.StatusBadRequest, err)
+			return
+		}
+	}
+	writeJSON(w, r, http.StatusOK, map[string]any{"armed": len(req.Faults)})
+}
+
+func (h *Handler) chaosClear(w http.ResponseWriter, r *http.Request) {
+	h.chaos.Clear()
+	writeJSON(w, r, http.StatusOK, map[string]string{"status": "cleared"})
+}
+
 // --- helpers ---------------------------------------------------------------
+
+// writeMutationError maps a backend mutation failure: ErrDegraded — the
+// journal is down and the write was refused before applying anywhere —
+// and ErrNotJournaled — the in-flight write that hit the disk fault
+// itself, applied in memory but never acknowledged as durable — both
+// become 503 + Retry-After (a background disk probe re-arms the WAL and
+// re-journals the unjournaled tail, so retrying is the right client
+// move; 4xx would tell it to give up). Anything else keeps the
+// endpoint's usual status.
+func writeMutationError(w http.ResponseWriter, r *http.Request, fallback int, err error) {
+	if errors.Is(err, ErrDegraded) || errors.Is(err, ErrNotJournaled) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, r, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeError(w, r, fallback, err)
+}
 
 func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))

@@ -82,31 +82,14 @@ import (
 // fsync, and the fallback behavior (metadata flushed by the next
 // journal-wide sync) degrades gracefully.
 func SyncDir(dir string) {
-	d, err := os.Open(dir)
-	if err != nil {
-		return
-	}
-	_ = d.Sync()
-	d.Close()
+	_ = OSFS{}.SyncDir(dir)
 }
 
 // WriteFileSync writes data to path with an fsync before close — the
 // durable sibling of os.WriteFile, for manifest files whose content must
 // survive the rename that publishes them.
 func WriteFileSync(path string, data []byte, perm os.FileMode) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return WriteFileSyncFS(OSFS{}, path, data, perm)
 }
 
 // magic identifies a journal file (and its framing version). Bump the
@@ -237,6 +220,10 @@ type Options struct {
 	// compaction triggers (0 means DefaultCompactMinRecords). Compaction
 	// then runs whenever dead records outnumber live ones.
 	CompactMinRecords int
+	// FS is the filesystem the journal opens, writes and renames through
+	// (nil means the real filesystem). Tests and the fault-injection
+	// layer substitute one that fails on command.
+	FS FS
 }
 
 // DefaultCompactMinRecords is the compaction floor: below this many total
@@ -284,6 +271,13 @@ type Stats struct {
 	// CheckpointSeq is the highest sequence number covered by a
 	// checkpoint this incarnation (0 before the first checkpoint).
 	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	// Degraded reports a sticky writer error: every append fails until
+	// ResetAfter re-arms the journal (or the process restarts). The
+	// serving layer maps it to read-only degraded mode.
+	Degraded bool `json:"degraded,omitempty"`
+	// Resets counts successful ResetAfter re-arms — degraded→healthy
+	// transitions survived without a restart.
+	Resets int64 `json:"resets,omitempty"`
 	// TotalRecords is the number of records in the file (live + dead).
 	TotalRecords int `json:"total_records"`
 	// Bytes is the current file size.
@@ -308,6 +302,8 @@ func (s Stats) Merge(o Stats) Stats {
 		VocabRecords:    s.VocabRecords + o.VocabRecords,
 		VocabBytes:      s.VocabBytes + o.VocabBytes,
 		CheckpointSeq:   max(s.CheckpointSeq, o.CheckpointSeq),
+		Degraded:        s.Degraded || o.Degraded,
+		Resets:          s.Resets + o.Resets,
 		TotalRecords:    s.TotalRecords + o.TotalRecords,
 		Bytes:           s.Bytes + o.Bytes,
 	}
@@ -355,7 +351,11 @@ type pending struct {
 	barrier    bool
 	checkpoint bool
 	ckptSeq    uint64
-	done       chan error
+	// reset asks the writer to clear a sticky error after probe (optional)
+	// succeeds; processed before the batch's sticky-error check.
+	reset bool
+	probe func() error
+	done  chan error
 }
 
 // Journal is an append-only session WAL over one file. All methods are
@@ -365,6 +365,7 @@ type pending struct {
 type Journal struct {
 	path string
 	opts Options
+	fs   FS
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -374,7 +375,7 @@ type Journal struct {
 	seq    uint64
 
 	// Writer-goroutine state (no lock needed beyond the handoff above).
-	f      *os.File
+	f      File
 	size   int64
 	total  int
 	live   map[string]liveEntry
@@ -388,6 +389,10 @@ type Journal struct {
 	// (SetNoSync): the writer goroutine reads it per batch, recovery
 	// replay suspends fsync through it.
 	nosync atomic.Bool
+
+	// degraded mirrors werr != nil for lock-free Stats/Degraded reads.
+	degraded atomic.Bool
+	resets   atomic.Int64
 
 	appends         atomic.Int64
 	batches         atomic.Int64
@@ -418,6 +423,7 @@ func Open(path string, opts Options) (*Journal, ReplayStats, error) {
 	j := &Journal{
 		path: path,
 		opts: opts,
+		fs:   fsOrOS(opts.FS),
 		live: make(map[string]liveEntry),
 	}
 	j.nosync.Store(opts.NoSync)
@@ -425,7 +431,7 @@ func Open(path string, opts Options) (*Journal, ReplayStats, error) {
 	j.exited = make(chan struct{})
 
 	var rs ReplayStats
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := j.fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, rs, fmt.Errorf("journal: open: %w", err)
 	}
@@ -530,6 +536,8 @@ func (j *Journal) Stats() Stats {
 		VocabRecords:    int(j.vocabCount.Load()),
 		VocabBytes:      j.vocabBytes.Load(),
 		CheckpointSeq:   j.ckptSeq.Load(),
+		Degraded:        j.degraded.Load(),
+		Resets:          j.resets.Load(),
 		TotalRecords:    int(j.totalCount.Load()),
 		Bytes:           j.bytes.Load(),
 	}
@@ -648,6 +656,103 @@ func (j *Journal) Append(rec Record) error {
 	return j.Submit(rec)()
 }
 
+// Err reports the journal's sticky writer error (nil when healthy). A
+// non-nil value means every Submit/Sync/Checkpoint fails until ResetAfter
+// re-arms the journal.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.werr != nil {
+		return fmt.Errorf("journal: previous write failed: %w", j.werr)
+	}
+	if j.closed {
+		return errors.New("journal: closed")
+	}
+	return nil
+}
+
+// Degraded reports lock-free whether the journal is sticky-failed.
+func (j *Journal) Degraded() bool { return j.degraded.Load() }
+
+// Reset is ResetAfter with no probe.
+func (j *Journal) Reset() error { return j.ResetAfter(nil) }
+
+// ResetAfter attempts to clear a sticky write error and resume appends —
+// the recovery path for a disk that filled up (or errored) and came
+// back. If probe is non-nil it runs first on the writer goroutine; a
+// probe error aborts the reset (the journal stays degraded). The re-arm
+// then reopens the file, truncates it back to the last *acknowledged*
+// byte — j.size only advances on durable batches, so everything beyond
+// it is a torn or unacknowledged tail whose submitters all saw errors —
+// and fsyncs, proving the disk accepts writes again. The in-memory
+// retained state (live map, vocabulary records, sequence counter)
+// already describes exactly that prefix, so no rescan is needed and no
+// acknowledged record is ever dropped. Returns nil if the journal was
+// not degraded.
+func (j *Journal) ResetAfter(probe func() error) error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return errors.New("journal: closed")
+	}
+	p := &pending{reset: true, probe: probe, done: make(chan error, 1)}
+	j.queue = append(j.queue, p)
+	j.mu.Unlock()
+	j.cond.Signal()
+	return <-p.done
+}
+
+// setWriteError records (or clears) the sticky writer error, keeping the
+// lock-free degraded mirror in step.
+func (j *Journal) setWriteError(err error) {
+	j.mu.Lock()
+	j.werr = err
+	j.mu.Unlock()
+	j.degraded.Store(err != nil)
+}
+
+// handleReset performs a ResetAfter on the writer goroutine.
+func (j *Journal) handleReset(probe func() error) error {
+	j.mu.Lock()
+	werr := j.werr
+	j.mu.Unlock()
+	if werr == nil {
+		return nil
+	}
+	if probe != nil {
+		if err := probe(); err != nil {
+			return fmt.Errorf("journal: reset probe: %w", err)
+		}
+	}
+	f, err := j.fs.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: reset reopen: %w", err)
+	}
+	// Cut the file back to the last acknowledged byte (j.size advances
+	// only after a durable batch, and compaction publishes the compacted
+	// size before its reopen attempt), dropping torn frames from the
+	// failed write without dropping anything a caller was told is safe.
+	if err := f.Truncate(j.size); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: reset truncate: %w", err)
+	}
+	if _, err := f.Seek(j.size, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: reset seek: %w", err)
+	}
+	// The fsync doubles as the write probe: a still-broken disk fails
+	// here and the journal stays degraded.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: reset fsync: %w", err)
+	}
+	j.f.Close() // old fd may point at a torn tail or an unlinked inode
+	j.f = f
+	j.resets.Add(1)
+	j.setWriteError(nil)
+	return nil
+}
+
 func waitErr(err error) func() error {
 	return func() error { return err }
 }
@@ -668,6 +773,23 @@ func (j *Journal) writer() {
 		j.mu.Unlock()
 
 		if len(batch) > 0 {
+			// Reset requests run before the sticky-error check: a
+			// successful re-arm cannot rescue records in the same batch
+			// (their Submit already failed while the error was sticky),
+			// but it must not itself be failed by the error it clears.
+			n := 0
+			for _, p := range batch {
+				if p.reset {
+					p.done <- j.handleReset(p.probe)
+					continue
+				}
+				batch[n] = p
+				n++
+			}
+			batch = batch[:n]
+		}
+
+		if len(batch) > 0 {
 			// A sticky error fails the whole batch up front — records
 			// queued before the error was set included. Writing them
 			// anyway would append past a torn region (or onto an unlinked
@@ -679,9 +801,7 @@ func (j *Journal) writer() {
 			if err != nil {
 				err = fmt.Errorf("journal: previous write failed: %w", err)
 			} else if err = j.writeBatch(batch); err != nil {
-				j.mu.Lock()
-				j.werr = err
-				j.mu.Unlock()
+				j.setWriteError(err)
 			}
 			// Checkpoints in the batch take effect only after the batch
 			// itself is durable; the retained-set truncation plus a forced
@@ -846,7 +966,7 @@ func (j *Journal) compact() error {
 	sort.Slice(entries, func(a, b int) bool { return entries[a].seq < entries[b].seq })
 
 	tmpPath := j.path + ".compact"
-	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmp, err := j.fs.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -854,7 +974,7 @@ func (j *Journal) compact() error {
 	size := int64(len(magic))
 	if _, err := w.Write(magic); err != nil {
 		tmp.Close()
-		os.Remove(tmpPath)
+		j.fs.Remove(tmpPath)
 		return err
 	}
 	var frame [frameOverhead]byte
@@ -863,59 +983,62 @@ func (j *Journal) compact() error {
 		binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(e.payload, castagnoli))
 		if _, err := w.Write(frame[:]); err != nil {
 			tmp.Close()
-			os.Remove(tmpPath)
+			j.fs.Remove(tmpPath)
 			return err
 		}
 		if _, err := w.Write(e.payload); err != nil {
 			tmp.Close()
-			os.Remove(tmpPath)
+			j.fs.Remove(tmpPath)
 			return err
 		}
 		size += int64(frameOverhead + len(e.payload))
 	}
 	if err := w.Flush(); err != nil {
 		tmp.Close()
-		os.Remove(tmpPath)
+		j.fs.Remove(tmpPath)
 		return err
 	}
 	if !j.nosync.Load() {
 		if err := tmp.Sync(); err != nil {
 			tmp.Close()
-			os.Remove(tmpPath)
+			j.fs.Remove(tmpPath)
 			return err
 		}
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpPath)
+		j.fs.Remove(tmpPath)
 		return err
 	}
-	if err := os.Rename(tmpPath, j.path); err != nil {
-		os.Remove(tmpPath)
+	if err := j.fs.Rename(tmpPath, j.path); err != nil {
+		j.fs.Remove(tmpPath)
 		return err
 	}
 	if !j.nosync.Load() {
 		// Persist the rename itself; without the directory sync a power
 		// cut can roll the directory entry back to the pre-compaction
 		// file (fine) or, worse, an in-between metadata state.
-		SyncDir(filepath.Dir(j.path))
+		SyncDirFS(j.fs, filepath.Dir(j.path))
 	}
+	// The rename is the commit point: the file at j.path now holds
+	// exactly the compacted entries. Publish size/total before the
+	// reopen attempt so a reopen failure leaves them describing the
+	// renamed file — ResetAfter truncates to j.size and must not extend
+	// the (smaller) compacted file with zeros.
+	j.size = size
+	j.total = len(entries)
 	// The old fd now points at an unlinked inode; reopen the renamed file
 	// for further appends. Failing here is the one compaction error that
 	// cannot be retried — appends through the stale fd would vanish with
 	// the unlinked inode — so it poisons the journal (sticky error) instead
 	// of being swallowed by maybeCompact.
-	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := j.fs.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		err = fmt.Errorf("journal: reopen after compaction: %w", err)
-		j.mu.Lock()
-		j.werr = err
-		j.mu.Unlock()
+		j.setWriteError(err)
 		return err
 	}
 	j.f.Close()
 	j.f = f
-	j.size = size
-	j.total = len(entries)
 	return nil
 }
 
@@ -1010,7 +1133,7 @@ func Replay(path string, fn func(Record) error) (ReplayStats, error) {
 // indistinguishable from a torn tail without a segment index, so
 // everything after the first bad frame is conservatively treated as lost
 // (and counted in TornBytes).
-func scan(f *os.File, fn func(rec Record, payload []byte)) (validEnd int64, stats ReplayStats, err error) {
+func scan(f File, fn func(rec Record, payload []byte)) (validEnd int64, stats ReplayStats, err error) {
 	info, err := f.Stat()
 	if err != nil {
 		return 0, stats, fmt.Errorf("journal: stat: %w", err)

@@ -219,25 +219,124 @@ func observe(next http.Handler, accessLog io.Writer, hm *httpMetrics) http.Handl
 	})
 }
 
+// exemptPath reports whether a request bypasses the shedding middleware
+// (drain, admission, request timeout): /healthz must answer while
+// shedding or draining (that is when operators look) and a blocked
+// /metrics would hide the very overload it reports.
+func exemptPath(r *http.Request) bool {
+	return r.URL.Path == "/healthz" || r.URL.Path == "/metrics"
+}
+
 // admissionGate applies the global concurrency gate + bounded queue.
-// Liveness and scrape endpoints bypass it: /healthz must answer while
-// shedding (that is when operators look) and a blocked /metrics would
-// hide the very overload it reports.
 func admissionGate(next http.Handler, adm *Admission) http.Handler {
 	if adm == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+		if exemptPath(r) {
 			next.ServeHTTP(w, r)
 			return
 		}
-		release, ok, retry := adm.Acquire()
+		release, ok, retry := adm.AcquireCtx(r.Context())
 		if !ok {
+			if r.Context().Err() != nil {
+				// The request's deadline ran out while it queued; 503 so
+				// the client (and the access log) sees a timeout, not an
+				// overload verdict it should back off from forever.
+				writeError(w, r, http.StatusServiceUnavailable,
+					errors.New("serve: request deadline exceeded while queued"))
+				return
+			}
 			writeShed(w, r, retry, errors.New("serve: overloaded, request queue full"))
 			return
 		}
 		defer release()
 		next.ServeHTTP(w, r)
+	})
+}
+
+// recoverPanics converts a panic anywhere below it — a handler, the
+// backend's rank path, an injected chaos panic — into a 500 with the
+// request ID, counted in carserve_panics_total, instead of an aborted
+// connection (net/http would recover too, but only after killing the
+// response) or a dead daemon.
+func recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				NotePanic()
+				writeError(w, r, http.StatusInternalServerError,
+					fmt.Errorf("serve: internal panic: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// DrainGate flips a server into shutdown drain: new API requests are
+// refused with 503 + Connection: close (so keep-alive clients reconnect
+// elsewhere) while in-flight ones finish under http.Server.Shutdown.
+// The zero value is an open gate; methods tolerate a nil receiver.
+type DrainGate struct {
+	draining atomic.Bool
+}
+
+// Start begins draining. Idempotent.
+func (g *DrainGate) Start() {
+	if g != nil {
+		g.draining.Store(true)
+	}
+}
+
+// Draining reports whether the gate is closed to new requests.
+func (g *DrainGate) Draining() bool { return g != nil && g.draining.Load() }
+
+// drainGate refuses new API requests while g is draining. /healthz and
+// /metrics stay reachable so orchestrators and scrapes can watch the
+// drain complete.
+func drainGate(next http.Handler, g *DrainGate) http.Handler {
+	if g == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if g.Draining() && !exemptPath(r) {
+			w.Header().Set("Connection", "close")
+			w.Header().Set("Retry-After", "1")
+			writeError(w, r, http.StatusServiceUnavailable,
+				errors.New("serve: draining for shutdown"))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// requestTimeout bounds each API request: the deadline rides the request
+// context (the admission queue waits on it; handlers check it after
+// admission) and is mirrored onto the connection's read/write deadlines
+// via ResponseController. Deliberately not http.TimeoutHandler — that
+// clones the request, so the mux-set r.Pattern would never reach the
+// outer observe middleware and every route label would become "other".
+// A rank already executing on the backend is not preempted (the rank
+// path is CPU-bound and lock-scoped); the deadline cuts queue waits and
+// stuck connections, which is where unbounded time actually goes.
+func requestTimeout(next http.Handler, d time.Duration) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exemptPath(r) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		rc := http.NewResponseController(w)
+		deadline := time.Now().Add(d)
+		// Best-effort: ResponseControllers over non-hijackable writers
+		// (tests, h2c wrappers) report ErrNotSupported; the context
+		// deadline still applies.
+		_ = rc.SetReadDeadline(deadline)
+		_ = rc.SetWriteDeadline(deadline.Add(time.Second))
+		next.ServeHTTP(w, r.WithContext(ctx))
 	})
 }

@@ -106,7 +106,42 @@ func RegisterBackendMetrics(reg *metrics.Registry, b Backend) {
 			w.Family("carserve_broadcast_max_seconds", "gauge", "Worst broadcast wall time since start.")
 			w.Sample("carserve_broadcast_max_seconds", st.Broadcast.MaxMicros/1e6)
 		}
+
+		exportHealth(w, st, shards)
 	})
+}
+
+// exportHealth emits the failure-domain series: per-shard state gauges,
+// the recovered-panic counter, and quarantine/repair totals.
+func exportHealth(w *metrics.Writer, st Stats, shards []Stats) {
+	w.Family("carserve_panics_total", "counter", "Panics recovered by the serving stack (per-request and per-shard isolation) instead of killing the daemon.")
+	w.Sample("carserve_panics_total", float64(PanicsTotal()))
+
+	w.Family("carserve_shard_health", "gauge", "Shard health by state (1 = the shard is in that state).")
+	for i, s := range shards {
+		state := StateHealthy
+		if s.Health != nil && s.Health.State != "" {
+			state = s.Health.State
+		}
+		for _, candidate := range []string{StateHealthy, StateDegraded, StateQuarantined} {
+			v := 0.0
+			if state == candidate {
+				v = 1.0
+			}
+			w.Sample("carserve_shard_health", v, "shard", strconv.Itoa(i), "state", candidate)
+		}
+	}
+
+	if st.Health != nil {
+		w.Family("carserve_degraded_recoveries_total", "counter", "Degraded-to-healthy transitions (the disk came back and the WAL re-armed).")
+		w.Sample("carserve_degraded_recoveries_total", float64(st.Health.Recoveries))
+		w.Family("carserve_unjournaled_tail_records", "gauge", "Applied-but-unjournaled records awaiting re-journal on disk recovery.")
+		w.Sample("carserve_unjournaled_tail_records", float64(st.Health.UnjournaledTail))
+		w.Family("carserve_quarantines_total", "counter", "Shards quarantined after repeated broadcast failures.")
+		w.Sample("carserve_quarantines_total", float64(st.Health.Quarantines))
+		w.Family("carserve_repairs_total", "counter", "Quarantined shards repaired from the WAL and readmitted.")
+		w.Sample("carserve_repairs_total", float64(st.Health.Repairs))
+	}
 }
 
 // exportCache emits one cache's hit/miss/coalesce/evict counters and
@@ -194,6 +229,18 @@ func exportJournal(w *metrics.Writer, shards []Stats) {
 			w.Sample("carserve_journal_checkpoint_seq", float64(s.Journal.CheckpointSeq), "shard", strconv.Itoa(i))
 		}
 	}
+	w.Family("carserve_journal_degraded", "gauge", "1 while the shard's WAL is sticky-failed and mutations are rejected.")
+	for i, s := range shards {
+		if s.Journal != nil {
+			v := 0.0
+			if s.Journal.Degraded {
+				v = 1.0
+			}
+			w.Sample("carserve_journal_degraded", v, "shard", strconv.Itoa(i))
+		}
+	}
+	counter("carserve_journal_resets_total", "Successful WAL re-arms after a sticky write error (ResetAfter).",
+		func(j journal.Stats) float64 { return float64(j.Resets) })
 
 	bounds := make([]float64, len(journal.BatchSizeBuckets))
 	for i, b := range journal.BatchSizeBuckets {

@@ -20,6 +20,13 @@ type Options struct {
 	// means DefaultPlanCacheSize; negative disables plan caching (every
 	// uncached rank then recompiles its plan).
 	PlanCacheSize int
+	// DegradeOnDiskError arms read-only degraded mode: when an attached
+	// journal sticky-fails, mutations are rejected with ErrDegraded
+	// (ranks keep serving from memory) instead of each returning its own
+	// "applied but not journaled" error, and ProbeDisk can re-arm the
+	// WAL when the disk recovers. Off, a journal error stays a per-call
+	// error and only a restart clears the sticky state.
+	DegradeOnDiskError bool
 }
 
 // Backend is the serving surface the HTTP handler (and the load
@@ -92,6 +99,7 @@ type Server struct {
 	cache    *rankCache // nil when caching is disabled
 	plans    *planCache // nil when plan caching is disabled
 	latency  *latencyRecorder
+	health   *diskHealth
 	start    time.Time
 	requests atomic.Int64
 }
@@ -104,9 +112,11 @@ func NewServer(sys *contextrank.System, opts Options) *Server {
 	srv := &Server{
 		facade:  NewFacade(sys),
 		latency: &latencyRecorder{},
+		health:  &diskHealth{enabled: opts.DegradeOnDiskError},
 		start:   time.Now(),
 	}
 	srv.sessions = newSessions(srv.facade)
+	srv.sessions.health = srv.health
 	if opts.CacheSize >= 0 {
 		srv.cache = newRankCache(opts.CacheSize)
 	}
@@ -400,9 +410,11 @@ func (s *Server) RankBatch(user string, alg contextrank.Algorithm, items []RankI
 // fsynced, so concurrent mutators share one sync. An apply error wins —
 // the client saw no acknowledgement, so durability of the partial prefix
 // is best-effort. A journal error on a successful apply is surfaced as
-// "applied but not journaled": the state changed in memory but the
-// caller must not treat it as durable.
-func finishJournal(opErr error, wait func() error, what string) error {
+// "applied but not journaled" — the state changed in memory but the
+// caller must not treat it as durable — and, with degraded mode armed,
+// engages it: rec is kept on the unjournaled tail so ProbeDisk can
+// re-journal it when the disk recovers.
+func (s *Server) finishJournal(opErr error, wait func() error, rec journal.Record, what string) error {
 	if wait == nil {
 		return opErr
 	}
@@ -411,13 +423,17 @@ func finishJournal(opErr error, wait func() error, what string) error {
 		return opErr
 	}
 	if jerr != nil {
-		return fmt.Errorf("serve: %s applied but not journaled: %w", what, jerr)
+		s.health.noteJournalError(rec, jerr)
+		return fmt.Errorf("serve: %s applied but not journaled: %w", what, notJournaled{jerr})
 	}
 	return nil
 }
 
 // Declare registers concepts, roles and subconcept axioms in one epoch.
 func (s *Server) Declare(concepts, roles []string, subs []SubConceptDecl) (int64, error) {
+	if err := s.health.checkWritable(); err != nil {
+		return 0, err
+	}
 	return s.DeclareTagged(0, concepts, roles, subs)
 }
 
@@ -430,8 +446,8 @@ func (s *Server) Declare(concepts, roles []string, subs []SubConceptDecl) (int64
 // neither applied nor journaled — replay never re-fails.
 func (s *Server) DeclareTagged(bid uint64, concepts, roles []string, subs []SubConceptDecl) (int64, error) {
 	var wait func() error
+	rec := journal.Record{Op: journal.OpDeclare, BID: bid}
 	epoch, err := s.facade.WithWriteEpoch(func(sys *contextrank.System) error {
-		rec := journal.Record{Op: journal.OpDeclare, BID: bid}
 		var opErr error
 		for _, c := range concepts {
 			if opErr = sys.DeclareConcept(c); opErr != nil {
@@ -463,7 +479,7 @@ func (s *Server) DeclareTagged(bid uint64, concepts, roles []string, subs []SubC
 		}
 		return opErr
 	})
-	return epoch, finishJournal(err, wait, "declare")
+	return epoch, s.finishJournal(err, wait, rec, "declare")
 }
 
 // Assert adds concept and role assertions in one epoch. Concepts that are
@@ -472,6 +488,9 @@ func (s *Server) DeclareTagged(bid uint64, concepts, roles []string, subs []SubC
 // section, where session applies also hold the lock, so there is no TOCTOU
 // window).
 func (s *Server) Assert(concepts []ConceptAssertion, roles []RoleAssertion) (int64, error) {
+	if err := s.health.checkWritable(); err != nil {
+		return 0, err
+	}
 	return s.AssertTagged(0, concepts, roles)
 }
 
@@ -479,8 +498,8 @@ func (s *Server) Assert(concepts []ConceptAssertion, roles []RoleAssertion) (int
 // the BID and applied-prefix journaling contract.
 func (s *Server) AssertTagged(bid uint64, concepts []ConceptAssertion, roles []RoleAssertion) (int64, error) {
 	var wait func() error
+	rec := journal.Record{Op: journal.OpAssert, BID: bid}
 	epoch, err := s.facade.WithWriteEpoch(func(sys *contextrank.System) error {
-		rec := journal.Record{Op: journal.OpAssert, BID: bid}
 		var opErr error
 		for _, a := range concepts {
 			if s.sessions.IsSessionConcept(a.Concept) {
@@ -509,7 +528,7 @@ func (s *Server) AssertTagged(bid uint64, concepts []ConceptAssertion, roles []R
 		}
 		return opErr
 	})
-	return epoch, finishJournal(err, wait, "assert")
+	return epoch, s.finishJournal(err, wait, rec, "assert")
 }
 
 // Rules snapshots the registered preference rules.
@@ -521,6 +540,9 @@ func (s *Server) Rules() []contextrank.Rule { return s.facade.Rules() }
 // and, with a journal attached, stay durable: the record holds exactly the
 // applied prefix of rule texts.
 func (s *Server) AddRules(texts []string) ([]string, int64, error) {
+	if err := s.health.checkWritable(); err != nil {
+		return nil, 0, err
+	}
 	return s.AddRulesTagged(0, texts)
 }
 
@@ -528,8 +550,8 @@ func (s *Server) AddRules(texts []string) ([]string, int64, error) {
 func (s *Server) AddRulesTagged(bid uint64, texts []string) ([]string, int64, error) {
 	var added []string
 	var wait func() error
+	rec := journal.Record{Op: journal.OpAddRules, BID: bid}
 	epoch, err := s.facade.WithWriteEpoch(func(sys *contextrank.System) error {
-		rec := journal.Record{Op: journal.OpAddRules, BID: bid}
 		var opErr error
 		for _, text := range texts {
 			rule, aerr := sys.AddRule(text)
@@ -548,28 +570,33 @@ func (s *Server) AddRulesTagged(bid uint64, texts []string) ([]string, int64, er
 		}
 		return opErr
 	})
-	return added, epoch, finishJournal(err, wait, "add rules")
+	return added, epoch, s.finishJournal(err, wait, rec, "add rules")
 }
 
 // RemoveRule deletes a rule by name. The removal is journaled on success
 // only — a failed remove mutated nothing.
 func (s *Server) RemoveRule(name string) (int64, error) {
+	if err := s.health.checkWritable(); err != nil {
+		return 0, err
+	}
 	return s.RemoveRuleTagged(0, name)
 }
 
 // RemoveRuleTagged is RemoveRule carrying a broadcast id; see DeclareTagged.
 func (s *Server) RemoveRuleTagged(bid uint64, name string) (int64, error) {
 	var wait func() error
+	rec := journal.Record{Op: journal.OpRemoveRule, BID: bid, Rule: name}
 	epoch, err := s.facade.WithWriteEpoch(func(sys *contextrank.System) error {
 		if rerr := sys.Rules().Remove(name); rerr != nil {
 			return rerr
 		}
 		if j := s.sessions.Journal(); j != nil {
-			wait = j.Submit(journal.Record{Op: journal.OpRemoveRule, BID: bid, Rule: name, Epoch: s.facade.Epoch()})
+			rec.Epoch = s.facade.Epoch()
+			wait = j.Submit(rec)
 		}
 		return nil
 	})
-	return epoch, finishJournal(err, wait, "rule removal")
+	return epoch, s.finishJournal(err, wait, rec, "rule removal")
 }
 
 // SetSession replaces the user's session context.
@@ -596,6 +623,9 @@ func (s *Server) Query(stmt string) (*contextrank.QueryResult, error) {
 // divergence a checkpoint can capture that the WAL does not, which is
 // acceptable because the client was told the statement failed.
 func (s *Server) Exec(stmt string) (*contextrank.QueryResult, int64, error) {
+	if err := s.health.checkWritable(); err != nil {
+		return nil, 0, err
+	}
 	return s.ExecTagged(0, stmt)
 }
 
@@ -603,6 +633,7 @@ func (s *Server) Exec(stmt string) (*contextrank.QueryResult, int64, error) {
 func (s *Server) ExecTagged(bid uint64, stmt string) (*contextrank.QueryResult, int64, error) {
 	var res *contextrank.QueryResult
 	var wait func() error
+	rec := journal.Record{Op: journal.OpExec, BID: bid, Stmt: stmt}
 	epoch, err := s.facade.WithWriteEpoch(func(sys *contextrank.System) error {
 		r, rerr := sys.Exec(stmt)
 		res = r
@@ -610,11 +641,12 @@ func (s *Server) ExecTagged(bid uint64, stmt string) (*contextrank.QueryResult, 
 			return rerr
 		}
 		if j := s.sessions.Journal(); j != nil {
-			wait = j.Submit(journal.Record{Op: journal.OpExec, BID: bid, Stmt: stmt, Epoch: s.facade.Epoch()})
+			rec.Epoch = s.facade.Epoch()
+			wait = j.Submit(rec)
 		}
 		return nil
 	})
-	return res, epoch, finishJournal(err, wait, "exec")
+	return res, epoch, s.finishJournal(err, wait, rec, "exec")
 }
 
 // SaveSnapshot dumps the wrapped system as JSON to w with the merged
@@ -666,6 +698,10 @@ type Stats struct {
 	// that user ranks at that state.
 	Plans   CacheStats   `json:"plan_cache"`
 	Latency LatencyStats `json:"latency"`
+	// Health is the failure-domain state: healthy, degraded (journal
+	// down, mutations rejected) or quarantined (coordinator rerouting
+	// around the shard), plus the counters behind it.
+	Health *HealthInfo `json:"health,omitempty"`
 	// Journal is the write-ahead log (appends, group-commit batches,
 	// fsyncs, compactions, live/vocab/total records, bytes since the last
 	// checkpoint); nil when the server runs without durability.
@@ -792,6 +828,7 @@ func (s *Server) Stats() Stats {
 	if s.plans != nil {
 		st.Plans = s.plans.stats()
 	}
+	st.Health = s.health.healthInfo()
 	if j := s.sessions.Journal(); j != nil {
 		// Journal counters are atomics; reading them keeps the scrape
 		// lock-free.

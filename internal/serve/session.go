@@ -59,6 +59,11 @@ type Measurement = situation.Measurement
 // over-invalidation policy as Facade mutators).
 type Sessions struct {
 	f *Facade
+	// health is the owning server's journal failure domain: session
+	// mutations are rejected while degraded, and a journal error on an
+	// applied Set/Drop is reported so degraded mode can engage. Nil-safe
+	// (sessions built outside a Server have no health tracking).
+	health *diskHealth
 
 	mu    sync.Mutex
 	users map[string]*session
@@ -128,6 +133,9 @@ func (s *Sessions) Set(user string, measurements []Measurement) (string, error) 
 	if user == "" {
 		return "", fmt.Errorf("serve: session user must be non-empty")
 	}
+	if err := s.health.checkWritable(); err != nil {
+		return "", err
+	}
 	exclusiveSums := make(map[string]float64)
 	for _, m := range measurements {
 		if m.Concept == "" {
@@ -160,8 +168,17 @@ func (s *Sessions) Set(user string, measurements []Measurement) (string, error) 
 			// The session is applied in memory but not durable; the caller
 			// never gets a success acknowledgement, so the recovery
 			// guarantee ("every acknowledged update survives a crash")
-			// holds. A retry re-applies and re-journals idempotently.
-			return "", fmt.Errorf("serve: session for %q applied but not journaled: %w", user, jerr)
+			// holds. A retry re-applies and re-journals idempotently. With
+			// degraded mode armed the record joins the unjournaled tail so
+			// ProbeDisk re-journals it when the disk recovers — the WAL
+			// must end up agreeing with the in-memory state it missed.
+			s.health.noteJournalError(journal.Record{
+				Op:           journal.OpSet,
+				User:         user,
+				Measurements: ToJournalMeasurements(measurements),
+				Fingerprint:  fp,
+			}, jerr)
+			return "", fmt.Errorf("serve: session for %q applied but not journaled: %w", user, notJournaled{jerr})
 		}
 	}
 	return fp, nil
@@ -245,13 +262,17 @@ func (s *Sessions) setValidated(user string, measurements []Measurement) (string
 // without a Drop record the WAL would still hold a live Set whose crash
 // replay resurrects the acknowledged-dropped session.
 func (s *Sessions) Drop(user string) error {
+	if err := s.health.checkWritable(); err != nil {
+		return err
+	}
 	wait, err := s.dropLocked(user)
 	if err != nil {
 		return err
 	}
 	if wait != nil {
 		if jerr := wait(); jerr != nil {
-			return fmt.Errorf("serve: session drop for %q applied but not journaled: %w", user, jerr)
+			s.health.noteJournalError(journal.Record{Op: journal.OpDrop, User: user}, jerr)
+			return fmt.Errorf("serve: session drop for %q applied but not journaled: %w", user, notJournaled{jerr})
 		}
 	}
 	return nil

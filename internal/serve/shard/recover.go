@@ -119,6 +119,11 @@ func (c *Coordinator) Recover(dir string, opts journal.Options) (RecoveryStats, 
 	}
 	c.journals = js
 	c.journalGen = gen
+	c.journalDir = dir
+	c.fs = opts.FS
+	if c.fs == nil {
+		c.fs = journal.OSFS{}
+	}
 
 	if prev != nil {
 		// Replay re-journals every surviving record through the attached
@@ -282,19 +287,19 @@ func (c *Coordinator) Recover(dir string, opts journal.Options) (RecoveryStats, 
 	// manifest after a power cut, bricking every subsequent boot), and
 	// the rename itself. Only after all of that is the old generation
 	// eligible for deletion.
-	journal.SyncDir(dir)
+	journal.SyncDirFS(c.fs, dir)
 	mf, err := json.Marshal(journalManifest{Version: journalManifestVersion, Shards: len(c.shards), Gen: gen})
 	if err != nil {
 		return stats, err
 	}
 	tmp := filepath.Join(dir, journalManifestName+".tmp")
-	if err := journal.WriteFileSync(tmp, mf, 0o644); err != nil {
+	if err := journal.WriteFileSyncFS(c.fs, tmp, mf, 0o644); err != nil {
 		return stats, fmt.Errorf("shard: journal manifest: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, journalManifestName)); err != nil {
+	if err := c.fs.Rename(tmp, filepath.Join(dir, journalManifestName)); err != nil {
 		return stats, fmt.Errorf("shard: journal manifest: %w", err)
 	}
-	journal.SyncDir(dir)
+	journal.SyncDirFS(c.fs, dir)
 	removeStaleJournals(dir, gen)
 	published := stats
 	c.recovery.Store(&published)

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	contextrank "repro"
+	"repro/internal/faultinject"
 	"repro/internal/serve"
 	"repro/internal/serve/journal"
 )
@@ -59,6 +60,21 @@ type Coordinator struct {
 	// durability). Snapshot manifests record it so recovery can pair
 	// checkpoint coverage with the right WAL files.
 	journalGen string
+	// journalDir is the WAL directory Recover ran against; quarantine
+	// repair replays a healthy shard's WAL from it.
+	journalDir string
+	// fs is the filesystem seam the journals were opened with (OSFS
+	// outside fault-injection runs); manifest switches route through it
+	// so injected rename/write faults reach them too.
+	fs journal.FS
+
+	// quar is the quarantine domain (see quarantine.go); quarAfter is
+	// the armed consecutive-failure threshold (0 = quarantining off).
+	quar      quarState
+	quarAfter atomic.Int64
+	// chaos is the optional fault injector for the rank and broadcast
+	// paths (nil = disabled; one atomic load per operation).
+	chaos atomic.Pointer[faultinject.Injector]
 
 	// bcastGate orders broadcasts against checkpoints: every broadcast
 	// holds the read side for its whole apply+journal span, and
@@ -100,6 +116,7 @@ func New(n int, build func(shard int) (*contextrank.System, error), opts serve.O
 		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)
 	}
 	c := &Coordinator{shards: make([]*serve.Server, n), start: time.Now()}
+	c.quar.init(n)
 	for i := 0; i < n; i++ {
 		sys, err := build(i)
 		if err != nil {
@@ -147,10 +164,16 @@ func jumpHash(key uint64, buckets int) int {
 
 // --- routed per-user operations --------------------------------------------
 
-// Rank routes the rank to the user's shard; the returned meta carries the
-// shard index that served it.
+// Rank routes the rank to the user's shard — or, while that shard is
+// quarantined, to its healthy stand-in — and the returned meta carries
+// the shard index that served it.
 func (c *Coordinator) Rank(user, target string, opts contextrank.RankOptions) ([]contextrank.Result, serve.RankMeta, error) {
-	i := c.ShardFor(user)
+	i := c.routeFor(user)
+	if in := c.chaos.Load(); in != nil {
+		if err := in.Fire(faultinject.RankServe, i); err != nil {
+			return nil, serve.RankMeta{Shard: i}, err
+		}
+	}
 	res, meta, err := c.shards[i].Rank(user, target, opts)
 	meta.Shard = i
 	return res, meta, err
@@ -159,26 +182,67 @@ func (c *Coordinator) Rank(user, target string, opts contextrank.RankOptions) ([
 // RankBatch routes the whole batch to the user's shard — one hop, one
 // consistent snapshot and one compiled rank plan for every item.
 func (c *Coordinator) RankBatch(user string, alg contextrank.Algorithm, items []serve.RankItem) ([]serve.RankItemResult, serve.RankMeta, error) {
-	i := c.ShardFor(user)
+	i := c.routeFor(user)
+	if in := c.chaos.Load(); in != nil {
+		if err := in.Fire(faultinject.RankServe, i); err != nil {
+			return nil, serve.RankMeta{Shard: i}, err
+		}
+	}
 	res, meta, err := c.shards[i].RankBatch(user, alg, items)
 	meta.Shard = i
 	return res, meta, err
 }
 
 // SetSession applies the user's session context on the user's shard only:
-// the merged apply and its write lock are shard-local.
+// the merged apply and its write lock are shard-local. While the home
+// shard is quarantined the session lands on its healthy stand-in and the
+// user is recorded for migration back at repair time; the recording is
+// serialized with the repair's migration sweep, so a session can never
+// fall between the two.
 func (c *Coordinator) SetSession(user string, ms []serve.Measurement) (string, error) {
-	return c.shards[c.ShardFor(user)].SetSession(user, ms)
+	home := ShardIndex(user, len(c.shards))
+	if c.quar.mask.Load()&maskBit(home) == 0 {
+		return c.shards[home].SetSession(user, ms)
+	}
+	c.quar.mu.Lock()
+	defer c.quar.mu.Unlock()
+	mask := c.quar.mask.Load()
+	if mask&maskBit(home) == 0 {
+		// Repaired between the fast-path check and the lock.
+		return c.shards[home].SetSession(user, ms)
+	}
+	fp, err := c.shards[rerouteIndex(user, mask, len(c.shards))].SetSession(user, ms)
+	if err == nil {
+		c.quar.rerouted[user] = home
+	}
+	return fp, err
 }
 
-// SessionInfo reads the user's session from the user's shard.
+// SessionInfo reads the user's session from whatever shard currently
+// serves the user (the stand-in while the home shard is quarantined).
 func (c *Coordinator) SessionInfo(user string) ([]serve.Measurement, string, bool) {
-	return c.shards[c.ShardFor(user)].SessionInfo(user)
+	return c.shards[c.routeFor(user)].SessionInfo(user)
 }
 
-// DropSession ends the user's session on the user's shard.
+// DropSession ends the user's session on the user's current shard.
 func (c *Coordinator) DropSession(user string) error {
-	return c.shards[c.ShardFor(user)].DropSession(user)
+	home := ShardIndex(user, len(c.shards))
+	if c.quar.mask.Load()&maskBit(home) == 0 {
+		return c.shards[home].DropSession(user)
+	}
+	c.quar.mu.Lock()
+	defer c.quar.mu.Unlock()
+	mask := c.quar.mask.Load()
+	if mask&maskBit(home) == 0 {
+		return c.shards[home].DropSession(user)
+	}
+	err := c.shards[rerouteIndex(user, mask, len(c.shards))].DropSession(user)
+	if err == nil {
+		// Keep the migration record: the home shard may hold a stale
+		// pre-quarantine session that repair must clear.
+		c.quar.rerouted[user] = home
+	}
+	return err
 }
 
 // --- broadcast writes ------------------------------------------------------
@@ -194,21 +258,59 @@ func (c *Coordinator) DropSession(user string) error {
 func (c *Coordinator) broadcast(fn func(i int, s *serve.Server, bid uint64) (int64, error)) (int64, error) {
 	c.bcastGate.RLock()
 	defer c.bcastGate.RUnlock()
+	// Degraded pre-check, before a BID is assigned or any shard applies:
+	// a degraded shard would apply the write in memory but fail to
+	// journal it, and the divergence rules below would then quarantine a
+	// shard whose only problem is its disk. Rejecting the whole write up
+	// front keeps the replicas bit-identical — the caller sees 503 +
+	// Retry-After and the disk probe re-arms the journal in background.
+	mask := c.quar.mask.Load()
+	for i, s := range c.shards {
+		if mask&maskBit(i) != 0 {
+			continue
+		}
+		if s.Degraded() {
+			return 0, fmt.Errorf("shard %d: %w", i, serve.ErrDegraded)
+		}
+	}
 	return c.broadcastBID(c.bid.Add(1), fn)
 }
 
 // broadcastBID is broadcast's body for an already-assigned broadcast id.
 // Recovery calls it directly to re-apply a journaled broadcast under its
 // original BID (no gate needed: replay runs before traffic).
+//
+// Quarantined shards are skipped — repair replays what they miss from a
+// healthy WAL. Each shard's apply runs behind a recover barrier: a panic
+// inside one shard's engine becomes that shard's error (counted in
+// carserve_panics_total) instead of killing the daemon, and with a
+// quarantine threshold armed, a shard that keeps failing while the rest
+// succeed is fenced off and its error absorbed.
 func (c *Coordinator) broadcastBID(bid uint64, fn func(i int, s *serve.Server, bid uint64) (int64, error)) (int64, error) {
 	started := time.Now()
+	mask := c.quar.mask.Load()
 	epochs := make([]int64, len(c.shards))
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
 	for i := range c.shards {
+		if mask&maskBit(i) != 0 {
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					serve.NotePanic()
+					errs[i] = fmt.Errorf("panic: %v", r)
+				}
+			}()
+			if in := c.chaos.Load(); in != nil {
+				if err := in.Fire(faultinject.BroadcastApply, i); err != nil {
+					errs[i] = err
+					return
+				}
+			}
 			epochs[i], errs[i] = fn(i, c.shards[i], bid)
 		}(i)
 	}
@@ -221,12 +323,23 @@ func (c *Coordinator) broadcastBID(bid uint64, fn func(i int, s *serve.Server, b
 			epoch = e
 		}
 	}
+	var firstErr error
 	for i, err := range errs {
-		if err != nil {
-			return epoch, fmt.Errorf("shard %d: %w", i, err)
+		if mask&maskBit(i) != 0 {
+			continue
+		}
+		if err == nil {
+			c.noteBroadcastResult(i, bid, nil)
+			continue
+		}
+		if c.noteBroadcastResult(i, bid, err) {
+			continue // shard quarantined; the write is durable on the rest
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", i, err)
 		}
 	}
-	return epoch, nil
+	return epoch, firstErr
 }
 
 func (c *Coordinator) observeBroadcast(d time.Duration) {
@@ -316,8 +429,35 @@ func (c *Coordinator) Query(stmt string) (*contextrank.QueryResult, error) {
 func (c *Coordinator) Stats() serve.Stats {
 	agg := serve.Stats{UptimeSeconds: time.Since(c.start).Seconds()}
 	agg.Shards = make([]serve.Stats, len(c.shards))
+	mask := c.quar.mask.Load()
+	health := &serve.HealthInfo{
+		State:       serve.StateHealthy,
+		Quarantines: c.quar.quarantines.Load(),
+		Repairs:     c.quar.repairs.Load(),
+		Panics:      serve.PanicsTotal(),
+	}
 	for i, s := range c.shards {
 		st := s.Stats()
+		if mask&maskBit(i) != 0 {
+			// Coordinator-level state overrides the shard's own view.
+			q := *st.Health
+			q.State = serve.StateQuarantined
+			c.quar.mu.Lock()
+			if info := c.quar.info[i]; info != nil {
+				q.Reason = info.reason
+				q.SinceUnix = info.since.Unix()
+			}
+			c.quar.mu.Unlock()
+			st.Health = &q
+			health.QuarantinedShards = append(health.QuarantinedShards, i)
+		} else if st.Health != nil && st.Health.State == serve.StateDegraded {
+			health.DegradedShards = append(health.DegradedShards, i)
+		}
+		if st.Health != nil {
+			health.Recoveries += st.Health.Recoveries
+			health.UnjournaledTail += st.Health.UnjournaledTail
+			health.TailDropped += st.Health.TailDropped
+		}
 		agg.Shards[i] = st
 		agg.Requests += st.Requests
 		agg.Sessions += st.Sessions
@@ -357,6 +497,13 @@ func (c *Coordinator) Stats() serve.Stats {
 			LastSeq:            c.ckptLastSeq.Load(),
 		}
 	}
+	switch {
+	case len(health.QuarantinedShards) > 0:
+		health.State = serve.StateQuarantined
+	case len(health.DegradedShards) > 0:
+		health.State = serve.StateDegraded
+	}
+	agg.Health = health
 	agg.Recovery = c.recovery.Load()
 	return agg
 }

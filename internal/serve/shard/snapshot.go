@@ -86,6 +86,13 @@ func (c *Coordinator) SaveSnapshots(dir string) error { return c.Checkpoint(dir)
 // records in the WAL whose replay is skipped via the manifest's coverage
 // fields, never a manifest that over-promises coverage.
 func (c *Coordinator) Checkpoint(dir string) error {
+	// A checkpoint while a shard is quarantined would snapshot diverged
+	// replicas and truncate the very WAL records repair needs. Refuse —
+	// the caller (background checkpointer, shutdown save) retries or
+	// logs, and the WAL keeps everything until the shard is readmitted.
+	if c.quar.mask.Load() != 0 {
+		return ErrQuarantined
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("shard: snapshot dir: %w", err)
 	}
@@ -99,6 +106,11 @@ func (c *Coordinator) Checkpoint(dir string) error {
 	err := func() error {
 		c.bcastGate.Lock()
 		defer c.bcastGate.Unlock()
+		// Re-check under the gate: RepairShard holds the gate's write
+		// side too, so a quarantine can engage while this call waited.
+		if c.quar.mask.Load() != 0 {
+			return ErrQuarantined
+		}
 		// Captured under the gate: no broadcast can be in flight, so this
 		// is exactly the frontier every shard's dump reflects.
 		ckptBID = c.bid.Load()
@@ -137,15 +149,16 @@ func (c *Coordinator) Checkpoint(dir string) error {
 	if err != nil {
 		return err
 	}
-	journal.SyncDir(dir)
+	fsys := c.fsys()
+	journal.SyncDirFS(fsys, dir)
 	tmp := filepath.Join(dir, manifestName+".tmp")
-	if err := journal.WriteFileSync(tmp, mf, 0o644); err != nil {
+	if err := journal.WriteFileSyncFS(fsys, tmp, mf, 0o644); err != nil {
 		return fmt.Errorf("shard: manifest: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+	if err := fsys.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
 		return fmt.Errorf("shard: manifest: %w", err)
 	}
-	journal.SyncDir(dir)
+	journal.SyncDirFS(fsys, dir)
 	removeStaleSaves(dir, id)
 	for i, j := range c.journals {
 		if j == nil {
@@ -156,6 +169,15 @@ func (c *Coordinator) Checkpoint(dir string) error {
 		}
 	}
 	return nil
+}
+
+// fsys returns the coordinator's filesystem seam (OSFS when Recover
+// never attached one).
+func (c *Coordinator) fsys() journal.FS {
+	if c.fs != nil {
+		return c.fs
+	}
+	return journal.OSFS{}
 }
 
 // removeStaleSaves best-effort deletes shard files from generations other
