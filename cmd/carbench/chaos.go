@@ -158,7 +158,8 @@ func driveChaosPhase(client *http.Client, base string, users []string, clients i
 					continue
 				}
 				started := time.Now()
-				resp, err := client.Get(base + "/v1/rank?user=" + user + "&target=TvProgram&limit=3")
+				resp, err := client.Post(base+"/v1/rank", "application/json",
+					bytes.NewReader([]byte(`{"user":"`+user+`","target":"TvProgram","limit":3}`)))
 				if err != nil {
 					local.ReadsFailed++
 					if local.FirstReadErr == nil {

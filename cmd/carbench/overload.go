@@ -211,7 +211,8 @@ func drivePhase(client *http.Client, base string, users []string, clients int, d
 			for i := 0; time.Now().Before(deadline); i++ {
 				user := users[(c+i)%len(users)]
 				started := time.Now()
-				resp, err := client.Get(base + "/v1/rank?user=" + user + "&target=TvProgram&limit=3")
+				resp, err := client.Post(base+"/v1/rank", "application/json",
+					bytes.NewReader([]byte(`{"user":"`+user+`","target":"TvProgram","limit":3}`)))
 				if err != nil {
 					local.Errors++
 					if local.FirstErr == nil {

@@ -391,6 +391,29 @@ func (s *System) CompileRankPlan(user string) (*RankPlan, error) {
 	return core.CompilePlan(s.loader, user, s.repo.Rules())
 }
 
+// RefreshRankPlan incrementally maintains a plan across a context change:
+// it compiles a successor of plan for the system's *current* context,
+// reusing the candidate-independent work the change provably left intact —
+// preference membership maps whose concepts the applied context does not
+// touch, the document-side block footprints, and the per-candidate
+// document distributions the footprint diff clears as unaffected. Scores
+// from the refreshed plan are bit-identical to a fresh CompileRankPlan of
+// the same state.
+//
+// The contract matches the serving layer's epoch discipline: only context
+// applies (SetContext / session applies) may have happened since plan was
+// compiled, under the same rule set. After data or rule mutations the plan
+// is invalid and must be recompiled; RefreshRankPlan does not detect that
+// for you. ErrPlanNotRefreshable marks a plan that cannot be maintained
+// (per-request restricted compiles) — fall back to CompileRankPlan.
+func (s *System) RefreshRankPlan(plan *RankPlan) (*RankPlan, error) {
+	return plan.Refresh()
+}
+
+// ErrPlanNotRefreshable marks a plan RefreshRankPlan cannot maintain
+// incrementally; callers fall back to CompileRankPlan.
+var ErrPlanNotRefreshable = core.ErrPlanNotRefreshable
+
 // RankWithPlan ranks the members of the target concept expression against
 // an already compiled plan — the factorized algorithm with its compile
 // step amortized away. opts.Algorithm must be empty or AlgorithmFactorized.

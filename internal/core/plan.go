@@ -62,6 +62,19 @@ type Plan struct {
 	clusters []planCluster // active (unpruned) rules only
 	distLen  int           // floats per candidate in the doc-distribution cache
 
+	// Incremental-maintenance state (see Refresh). restricted marks a plan
+	// compiled with a candidate restriction, which Refresh refuses to
+	// maintain; blocksGen is the space generation the footprints were
+	// computed at; appliedCtx the context concepts applied at compile time;
+	// docBlocks the per-rule document-side block keys (sorted, computed for
+	// active rules during clustering), the half of a rule's footprint that a
+	// context apply provably leaves intact.
+	restricted bool
+	blocksGen  uint64
+	appliedCtx []string
+	docBlocks  [][]string
+	domainLen  int // dl_domain size at compile; growth re-checks ¬/⊤/nominal views
+
 	// Document-side distribution cache: candidate id -> flat per-cluster
 	// distribution (planCluster.distOff slices it). Entries are valid for
 	// the space generation docGen was stamped with; any advance wipes the
@@ -94,6 +107,13 @@ type planRule struct {
 	// individual the preference view contains; absent ids are non-members
 	// (event.False()).
 	members map[string]*event.Expr
+	// prefConcepts is the preference expression's concept signature and
+	// domainDep whether the expression's view depends on dl_domain (¬/⊤/
+	// nominal compile against the closed domain) — together they decide
+	// whether a context apply could have changed the preference view, i.e.
+	// whether Refresh must re-fetch members.
+	prefConcepts []string
+	domainDep    bool
 }
 
 // docEv returns the candidate's membership event in the rule's preference.
@@ -196,7 +216,9 @@ func compilePlan(l *mapping.Loader, user string, rules []prefs.Rule, only map[st
 		return nil, fmt.Errorf("core: request without a user")
 	}
 	space := l.DB().Space()
-	p := &Plan{loader: l, space: space, user: user}
+	p := &Plan{loader: l, space: space, user: user, restricted: only != nil}
+	p.appliedCtx, _ = l.AppliedContext()
+	p.domainLen = l.DomainSize()
 
 	p.rules = make([]planRule, 0, len(rules))
 	for _, rule := range rules {
@@ -215,7 +237,11 @@ func compilePlan(l *mapping.Loader, user string, rules []prefs.Rule, only map[st
 		if err != nil {
 			return nil, fmt.Errorf("core: rule %s preference: %w", rule.Name, err)
 		}
-		p.rules = append(p.rules, planRule{rule: rule, ctxEv: ctxEv, ctxProb: pCtx, members: members})
+		p.rules = append(p.rules, planRule{
+			rule: rule, ctxEv: ctxEv, ctxProb: pCtx, members: members,
+			prefConcepts: rule.Preference.Signature().Concepts,
+			domainDep:    domainSensitive(rule.Preference),
+		})
 	}
 
 	if err := p.compileClusters(only); err != nil {
@@ -229,6 +255,7 @@ func compilePlan(l *mapping.Loader, user string, rules []prefs.Rule, only map[st
 // tables. only, when non-nil, restricts the document-side footprint to
 // those candidates (see compilePlan).
 func (p *Plan) compileClusters(only map[string]bool) error {
+	p.blocksGen = p.space.Generation()
 	var active []int
 	for i := range p.rules {
 		if p.rules[i].ctxProb > 0 {
@@ -260,10 +287,12 @@ func (p *Plan) compileClusters(only map[string]bool) error {
 			return fmt.Errorf("core: rule %s context: %w", st.rule.Name, err)
 		}
 		if only == nil {
-			for _, ev := range st.members {
-				if err := p.space.Blocks(ev, footprint); err != nil {
-					return fmt.Errorf("core: rule %s preference: %w", st.rule.Name, err)
-				}
+			keys, err := p.ruleDocBlocks(ri)
+			if err != nil {
+				return fmt.Errorf("core: rule %s preference: %w", st.rule.Name, err)
+			}
+			for _, k := range keys {
+				footprint[k] = true
 			}
 		} else {
 			for id := range only {
@@ -338,6 +367,245 @@ func (p *Plan) compileClusters(only map[string]bool) error {
 	p.distLen = off
 	p.docDist = make(map[string][]float64)
 	return nil
+}
+
+// ruleDocBlocks returns rule ri's document-side block keys (sorted),
+// computed from its preference-membership events and cached on the plan.
+// Refresh carries the cache over for rules whose membership events are
+// provably unchanged, which is what makes the refresh partition skip the
+// per-member Blocks walk — the dominant clustering cost on large catalogs.
+func (p *Plan) ruleDocBlocks(ri int) ([]string, error) {
+	if p.docBlocks == nil {
+		p.docBlocks = make([][]string, len(p.rules))
+	}
+	if p.docBlocks[ri] != nil {
+		return p.docBlocks[ri], nil
+	}
+	fp := make(map[string]bool)
+	for _, ev := range p.rules[ri].members {
+		if err := p.space.Blocks(ev, fp); err != nil {
+			return nil, err
+		}
+	}
+	keys := make([]string, 0, len(fp))
+	for k := range fp {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	p.docBlocks[ri] = keys
+	return keys, nil
+}
+
+// domainSensitive reports whether the concept expression's compiled view
+// reads dl_domain (¬, ⊤ and nominals do), i.e. whether registering a new
+// individual — which a context apply for a first-seen user does — can
+// change the view's membership even though no named concept table changed.
+func domainSensitive(e *dl.Expr) bool {
+	switch e.Op() {
+	case dl.OpTop, dl.OpNot, dl.OpNominal:
+		return true
+	}
+	for _, a := range e.Args() {
+		if domainSensitive(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrPlanNotRefreshable marks a plan Refresh cannot maintain incrementally
+// (candidate-restricted compile). Callers fall back to a fresh CompilePlan.
+var ErrPlanNotRefreshable = fmt.Errorf("core: plan cannot be refreshed incrementally")
+
+// Refresh compiles a successor plan against the loader's *current* context,
+// reusing the candidate-independent work the context change provably left
+// intact instead of recompiling from scratch. The contract mirrors the
+// serving layer's epoch discipline: only context applies (situation.Apply)
+// may have happened since the plan compiled — data and rule mutations
+// invalidate the plan entirely and need CompilePlan.
+//
+// What is reused, and why it is exact:
+//
+//   - Preference membership maps: a context apply only clears and asserts
+//     context-concept tables (plus dl_domain registrations). A rule whose
+//     preference signature is disjoint from both the compile-time and the
+//     current applied-context concepts — and whose view either does not
+//     read the closed domain or the domain has not grown — cannot have
+//     changed membership, so its members map and document-side block
+//     footprint are carried over without touching the store. Other rules
+//     re-fetch and diff per candidate.
+//   - Cluster partition: re-run over fresh context footprints plus the
+//     cached document footprints — the same union-find over the same keys a
+//     fresh compile would walk, so the partition (and hence float
+//     association order) is identical by construction.
+//   - 2^m context-state tables: recomputed through Space.Prob, whose memo
+//     retains entries for expressions that mention no retired event — an
+//     unchanged rule context is a lookup, only genuinely touched clusters
+//     pay an enumeration.
+//   - Document-side distributions: adopted from the predecessor for every
+//     candidate whose membership events are unchanged, provided the cluster
+//     layout is identical and the event space's footprint diff
+//     (ChangedBlocksSince) confirms no document block was retired,
+//     regrouped or re-declared since they were computed. Re-scoring then
+//     touches only candidates the change actually reached.
+func (p *Plan) Refresh() (*Plan, error) {
+	if p.restricted {
+		return nil, ErrPlanNotRefreshable
+	}
+	curCtx, _ := p.loader.AppliedContext()
+	touched := make(map[string]bool, len(p.appliedCtx)+len(curCtx))
+	for _, c := range p.appliedCtx {
+		touched[c] = true
+	}
+	for _, c := range curCtx {
+		touched[c] = true
+	}
+	changed, _, tracked := p.space.ChangedBlocksSince(p.blocksGen)
+	// A context apply for a first-seen individual grows dl_domain, which
+	// changes the membership of every view that reads the closed domain
+	// (¬, ⊤, nominals). An unchanged size proves no registration happened,
+	// letting those rules keep their cached memberships too.
+	domainLen := p.loader.DomainSize()
+	domainGrew := domainLen != p.domainLen
+
+	np := &Plan{loader: p.loader, space: p.space, user: p.user, appliedCtx: curCtx, domainLen: domainLen}
+	np.rules = make([]planRule, len(p.rules))
+	np.docBlocks = make([][]string, len(p.rules))
+	// changedIDs collects candidates whose membership event differs in any
+	// re-fetched rule; their cached distributions are the ones invalidated.
+	changedIDs := make(map[string]bool)
+	for i := range p.rules {
+		old := &p.rules[i]
+		ctxEv, err := p.loader.MembershipEvent(old.rule.Context, p.user)
+		if err != nil {
+			return nil, fmt.Errorf("core: rule %s context: %w", old.rule.Name, err)
+		}
+		pCtx, err := p.space.Prob(ctxEv)
+		if err != nil {
+			return nil, fmt.Errorf("core: rule %s context: %w", old.rule.Name, err)
+		}
+		nr := planRule{
+			rule: old.rule, ctxEv: ctxEv, ctxProb: pCtx,
+			prefConcepts: old.prefConcepts, domainDep: old.domainDep,
+		}
+		blocksOK := tracked && p.docBlocks != nil && p.docBlocks[i] != nil
+		if blocksOK {
+			for _, k := range p.docBlocks[i] {
+				if changed[k] {
+					blocksOK = false
+					break
+				}
+			}
+		}
+		refetch := old.domainDep && domainGrew
+		for _, c := range old.prefConcepts {
+			if refetch {
+				break
+			}
+			refetch = touched[c]
+		}
+		if refetch {
+			members, err := p.loader.Members(old.rule.Preference)
+			if err != nil {
+				return nil, fmt.Errorf("core: rule %s preference: %w", old.rule.Name, err)
+			}
+			if !diffMembers(old.members, members, changedIDs) {
+				blocksOK = false
+			}
+			nr.members = members
+		} else {
+			nr.members = old.members
+		}
+		if blocksOK {
+			np.docBlocks[i] = p.docBlocks[i]
+		}
+		np.rules[i] = nr
+	}
+	if err := np.compileClusters(nil); err != nil {
+		return nil, err
+	}
+	np.adoptDocDist(p, changedIDs)
+	return np, nil
+}
+
+// diffMembers records into changed every candidate whose membership event
+// differs between old and new; it reports whether the maps are identical.
+func diffMembers(old, new map[string]*event.Expr, changed map[string]bool) bool {
+	same := true
+	for id, ev := range new {
+		oev, ok := old[id]
+		if !ok || !event.Equal(oev, ev) {
+			changed[id] = true
+			same = false
+		}
+	}
+	for id := range old {
+		if _, ok := new[id]; !ok {
+			changed[id] = true
+			same = false
+		}
+	}
+	return same
+}
+
+// adoptDocDist carries the predecessor's cached document-side
+// distributions into np for every candidate the context change provably
+// did not reach. Preconditions checked here: the cluster layout (partition,
+// rule order, distribution offsets) is identical, so the flat records have
+// the same shape and association order; and the event space's footprint
+// diff since the entries were computed is disjoint from every active
+// rule's document footprint, so each adopted value is bit-identical to
+// what a fresh computation would produce. On any doubt it adopts nothing —
+// correctness never depends on adoption, only refresh speed does.
+func (np *Plan) adoptDocDist(p *Plan, changedIDs map[string]bool) {
+	if np.distLen != p.distLen || len(np.clusters) != len(p.clusters) {
+		return
+	}
+	for i := range np.clusters {
+		if np.clusters[i].distOff != p.clusters[i].distOff ||
+			!slices.Equal(np.clusters[i].rules, p.clusters[i].rules) {
+			return
+		}
+	}
+	p.docMu.RLock()
+	oldGen := p.docGen
+	n := len(p.docDist)
+	p.docMu.RUnlock()
+	if n == 0 {
+		return
+	}
+	changed, asOf, tracked := np.space.ChangedBlocksSince(oldGen)
+	if !tracked {
+		return
+	}
+	for _, cl := range np.clusters {
+		for _, ri := range cl.rules {
+			if np.docBlocks[ri] == nil {
+				return
+			}
+			for _, k := range np.docBlocks[ri] {
+				if changed[k] {
+					return
+				}
+			}
+		}
+	}
+	p.docMu.RLock()
+	if p.docGen != oldGen {
+		p.docMu.RUnlock()
+		return
+	}
+	adopt := make(map[string][]float64, len(p.docDist))
+	for id, d := range p.docDist {
+		if !changedIDs[id] {
+			adopt[id] = d
+		}
+	}
+	p.docMu.RUnlock()
+	np.docMu.Lock()
+	np.docGen = asOf
+	np.docDist = adopt
+	np.docMu.Unlock()
 }
 
 // User returns the situated user the plan was compiled for.

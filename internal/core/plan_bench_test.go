@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/dl"
 	"repro/internal/prefs"
+	"repro/internal/situation"
 	"repro/internal/workload"
 )
 
@@ -138,6 +139,79 @@ func BenchmarkPlanScoreLargeCatalog(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPlanIncrementalApply prices the subscription push path: after a
+// context apply shifts one concept's probability (a single-cluster change
+// against the 8-rule plan), re-rank the full 1000-document catalog either by
+// recompiling the plan from scratch or by incrementally refreshing the
+// previous epoch's plan. The context apply itself runs outside the timer so
+// the ratio isolates plan maintenance + rank. CI renames the two
+// sub-benchmarks to a common name and gates refresh at ≥5× faster than full
+// recompile via benchcheck with a negative threshold (BENCH_subscribe.json).
+func BenchmarkPlanIncrementalApply(b *testing.B) {
+	const n, k = 1000, 8
+	// applyShifted re-applies the standard bench context with concept 0's
+	// probability nudged by iteration, so every epoch is a genuine change.
+	applyShifted := func(d *workload.Dataset, i int) {
+		b.Helper()
+		ctx := situation.New(d.User)
+		ctx.Add(workload.BenchContextConcept(0), 0.5+0.4*float64(i%7)/7)
+		for j := 1; j < k; j++ {
+			ctx.Add(workload.BenchContextConcept(j), 0.9)
+		}
+		if err := ctx.Apply(d.Loader); err != nil {
+			b.Fatal(err)
+		}
+	}
+	req := PlanRequest{Target: dl.Atom("TvProgram")}
+	b.Run(fmt.Sprintf("mode=full/candidates=%d", n), func(b *testing.B) {
+		d, rules := planBenchSetup(b, n, k)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			applyShifted(d, i)
+			b.StartTimer()
+			plan, err := CompilePlan(d.Loader, d.User, rules)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := plan.Rank(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res) != n {
+				b.Fatalf("%d results, want %d", len(res), n)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("mode=refresh/candidates=%d", n), func(b *testing.B) {
+		d, rules := planBenchSetup(b, n, k)
+		plan, err := CompilePlan(d.Loader, d.User, rules)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := plan.Rank(req); err != nil {
+			b.Fatal(err) // warm the doc-distribution cache for adoption
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			applyShifted(d, i)
+			b.StartTimer()
+			plan, err = plan.Refresh()
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := plan.Rank(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res) != n {
+				b.Fatalf("%d results, want %d", len(res), n)
+			}
+		}
+	})
 }
 
 // BenchmarkPlanRankTopK prices top-k selection against the full sort over

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dl"
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/mapping"
+	"repro/internal/prefs"
+	"repro/internal/situation"
+)
+
+// assertBitIdentical fails unless the two result lists agree exactly —
+// same ids, same order, and float64-equal scores. Refresh promises scores
+// bit-identical to a fresh compile (same partition, same association
+// order), so no epsilon is allowed here.
+func assertBitIdentical(t *testing.T, label string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+			t.Fatalf("%s: result %d = %s:%v, want %s:%v",
+				label, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+		}
+	}
+}
+
+// TestRefreshMatchesFreshCompile walks a plan through successive context
+// applies via Refresh and checks every intermediate ranking bit-identical
+// to a from-scratch CompilePlan of the same state.
+func TestRefreshMatchesFreshCompile(t *testing.T) {
+	l, rules := correlatedSetup(t)
+	plan, err := CompilePlan(l, "u", rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the doc-distribution cache so the refresh has something to adopt.
+	if _, err := plan.Rank(PlanRequest{Target: dl.Atom("Doc")}); err != nil {
+		t.Fatal(err)
+	}
+	contexts := []*situation.Context{
+		// Same shape, different probabilities: the single-cluster change.
+		situation.New("u").
+			AddExclusive("location", []string{"Kitchen", "Living"}, []float64{0.2, 0.7}).
+			Add("Weekend", 0.5),
+		// Drop the exclusive group: partition changes, rules re-cluster.
+		situation.New("u").Add("Kitchen", 0.4).Add("Weekend", 0.9),
+		// Prune everything but one rule.
+		situation.New("u").Add("Weekend", 0.3),
+		// And back to the full shape.
+		situation.New("u").
+			AddExclusive("location", []string{"Kitchen", "Living"}, []float64{0.5, 0.4}).
+			Add("Weekend", 0.8),
+	}
+	for i, ctx := range contexts {
+		if err := ctx.Apply(l); err != nil {
+			t.Fatal(err)
+		}
+		refreshed, err := plan.Refresh()
+		if err != nil {
+			t.Fatalf("round %d: refresh: %v", i, err)
+		}
+		fresh, err := CompilePlan(l, "u", rules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := refreshed.Rank(PlanRequest{Target: dl.Atom("Doc")})
+		if err != nil {
+			t.Fatalf("round %d: refreshed rank: %v", i, err)
+		}
+		want, err := fresh.Rank(PlanRequest{Target: dl.Atom("Doc")})
+		if err != nil {
+			t.Fatalf("round %d: fresh rank: %v", i, err)
+		}
+		assertBitIdentical(t, fmt.Sprintf("round %d", i), got, want)
+		plan = refreshed
+	}
+}
+
+// TestRefreshRestrictedPlanNotRefreshable: a candidate-restricted compile
+// (the per-request path) must refuse incremental maintenance.
+func TestRefreshRestrictedPlanNotRefreshable(t *testing.T) {
+	l, rules := correlatedSetup(t)
+	plan, err := compilePlan(l, "u", rules, map[string]bool{"d1": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Refresh(); !errors.Is(err, ErrPlanNotRefreshable) {
+		t.Fatalf("refresh of restricted plan: err = %v, want ErrPlanNotRefreshable", err)
+	}
+}
+
+// TestRefreshChurnSoakEquivalence is the randomized churn soak: a catalog
+// with correlated document events, preferences that reference context
+// concepts, domain-reading (¬/nominal) preferences, and a context stream
+// that re-shapes the exclusive-group structure, prunes and unprunes rules,
+// registers fresh individuals mid-stream and occasionally mutates data.
+// After every mutation the delta-maintained plan's scores must be
+// bit-identical to a fresh CompilePlan of the same state; after data
+// mutations (which void the refresh contract) the baseline restarts from a
+// fresh compile exactly like the serving layer's epoch discipline does.
+func TestRefreshChurnSoakEquivalence(t *testing.T) {
+	db := engine.New()
+	l := mapping.NewLoader(db, nil)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range []string{"Doc", "F1", "F2", "F3", "F4", "Room1", "Room2", "Room3", "Weekend", "Busy"} {
+		must(l.DeclareConcept(c))
+	}
+	rng := rand.New(rand.NewSource(11))
+	docCount := 0
+	addDoc := func() {
+		id := fmt.Sprintf("doc%03d", docCount)
+		docCount++
+		must(l.AssertConcept("Doc", id, nil))
+		// Half the docs share a correlated event with a neighbour, the rest
+		// carry independent uncertainty or certain features.
+		for fi, f := range []string{"F1", "F2", "F3", "F4"} {
+			switch rng.Intn(4) {
+			case 0:
+				must(l.AssertConcept(f, id, nil))
+			case 1:
+				ev := fmt.Sprintf("e_%s_%d", id, fi)
+				must(db.Space().Declare(ev, 0.2+0.6*rng.Float64()))
+				must(l.AssertConcept(f, id, event.Basic(ev)))
+			case 2:
+				if docCount > 1 {
+					ev := fmt.Sprintf("e_doc%03d_%d", rng.Intn(docCount-1), fi)
+					if db.Space().Declared(ev) {
+						must(l.AssertConcept(f, id, event.Basic(ev)))
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < 30; i++ {
+		addDoc()
+	}
+	rules := []prefs.Rule{
+		{Name: "r1", Context: dl.Atom("Room1"), Preference: dl.Atom("F1"), Sigma: 0.9},
+		{Name: "r2", Context: dl.Atom("Room2"), Preference: dl.Atom("F2"), Sigma: 0.7},
+		{Name: "r3", Context: dl.Atom("Weekend"), Preference: dl.And(dl.Atom("F1"), dl.Atom("F3")), Sigma: 0.8},
+		// Domain-sensitive preference (¬ reads dl_domain).
+		{Name: "r4", Context: dl.Atom("Busy"), Preference: dl.And(dl.Atom("F2"), dl.Not(dl.Atom("F4"))), Sigma: 0.35},
+		// Preference referencing a context concept: membership changes with
+		// the context itself, forcing the re-fetch-and-diff path.
+		{Name: "r5", Context: dl.Atom("Room3"), Preference: dl.Or(dl.Atom("F4"), dl.Atom("Room1")), Sigma: 0.6},
+	}
+	applyRandomCtx := func() {
+		ctx := situation.New("u")
+		if rng.Intn(2) == 0 {
+			probs := []float64{0.3 + 0.3*rng.Float64(), 0.2 * rng.Float64(), 0.1 * rng.Float64()}
+			ctx.AddExclusive("room", []string{"Room1", "Room2", "Room3"}, probs)
+		} else {
+			for _, r := range []string{"Room1", "Room2", "Room3"} {
+				if rng.Intn(2) == 0 {
+					ctx.Add(r, rng.Float64())
+				}
+			}
+		}
+		if rng.Intn(3) > 0 {
+			ctx.Add("Weekend", rng.Float64())
+		}
+		if rng.Intn(3) == 0 {
+			ctx.Certain("Busy")
+		}
+		if rng.Intn(8) == 0 {
+			// A first-seen individual: grows dl_domain mid-stream, which the
+			// domain-sensitive rules must notice.
+			ctx.CertainFor(fmt.Sprintf("guest%02d", rng.Intn(50)), "Room1")
+		}
+		must(ctx.Apply(l))
+	}
+
+	applyRandomCtx()
+	prev, err := CompilePlan(l, "u", rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := PlanRequest{Target: dl.Atom("Doc")}
+	if _, err := prev.Rank(req); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 80; round++ {
+		if rng.Intn(10) == 0 {
+			// Data mutation: refresh contract void, restart from a fresh
+			// compile (the serving layer's data-epoch bump).
+			addDoc()
+			prev, err = CompilePlan(l, "u", rules)
+			if err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		applyRandomCtx()
+		refreshed, err := prev.Refresh()
+		if err != nil {
+			t.Fatalf("round %d: refresh: %v", round, err)
+		}
+		fresh, err := CompilePlan(l, "u", rules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := refreshed.Rank(req)
+		if err != nil {
+			t.Fatalf("round %d: refreshed rank: %v", round, err)
+		}
+		want, err := fresh.Rank(req)
+		if err != nil {
+			t.Fatalf("round %d: fresh rank: %v", round, err)
+		}
+		assertBitIdentical(t, fmt.Sprintf("round %d", round), got, want)
+		// Top-k selection must agree too (same total order).
+		gotK, err := refreshed.Rank(PlanRequest{Target: dl.Atom("Doc"), TopK: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, fmt.Sprintf("round %d topk", round), gotK, want[:5])
+		prev = refreshed
+	}
+}

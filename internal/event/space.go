@@ -47,7 +47,29 @@ type Space struct {
 	// a retire/redeclare cycle that changed the probability). Guarded by
 	// cacheMu.
 	gen uint64
+	// changes records, per invalidation generation, the correlated-block
+	// keys (in Blocks' key space) whose probability semantics that
+	// invalidation may have altered — the footprint diff that incremental
+	// plan maintenance intersects against a plan's cached footprints.
+	// Ascending by gen; bounded by maxTrackedChanges, with changeFloor the
+	// highest generation whose changes were trimmed away (callers asking
+	// about older generations must assume everything changed). Guarded by
+	// cacheMu.
+	changes     []genChange
+	changeFloor uint64
 }
+
+// genChange is one invalidation's changed-block record.
+type genChange struct {
+	gen  uint64
+	keys []string
+}
+
+// maxTrackedChanges bounds the change history. A context apply costs a
+// handful of generations (one retire plus one declare per exclusive
+// group), so the bound covers hundreds of applies between a plan's compile
+// and its refresh; older plans just lose the incremental fast path.
+const maxTrackedChanges = 4096
 
 // cacheEntry memoizes one expression's probability together with the basic
 // events it mentions, so Retire can invalidate exactly the entries that a
@@ -143,7 +165,10 @@ func (s *Space) DeclareExclusive(names []string, probs []float64) error {
 	for i, n := range names {
 		s.basics[n] = basicInfo{prob: probs[i], group: gid}
 	}
-	s.invalidate()
+	// The group key may be a reused slot id: recording it as changed is what
+	// tells footprint-diffing callers that "g:<gid>" no longer means the
+	// group they saw at compile time.
+	s.invalidate([]string{groupKey(gid)})
 	return nil
 }
 
@@ -164,10 +189,16 @@ func (s *Space) Retire(names ...string) error {
 			return fmt.Errorf("event: cannot retire %q: not declared", n)
 		}
 	}
+	keys := make([]string, 0, len(names))
+	seenKeys := make(map[string]bool, len(names))
 	for _, n := range names {
 		info, ok := s.basics[n]
 		if !ok {
 			continue // duplicate name within this call
+		}
+		if k := blockKey(n, info.group); !seenKeys[k] {
+			seenKeys[k] = true
+			keys = append(keys, k)
 		}
 		delete(s.basics, n)
 		if info.group >= 0 {
@@ -175,7 +206,7 @@ func (s *Space) Retire(names ...string) error {
 		}
 	}
 	s.mu.Unlock()
-	s.invalidateMentioning(names)
+	s.invalidateMentioning(names, keys)
 	return nil
 }
 
@@ -200,7 +231,7 @@ func (s *Space) RetireGroup(member string) ([]string, error) {
 	s.groups[info.group] = nil
 	s.free = append(s.free, info.group)
 	s.mu.Unlock()
-	s.invalidateMentioning(retired)
+	s.invalidateMentioning(retired, []string{groupKey(info.group)})
 	return retired, nil
 }
 
@@ -293,17 +324,19 @@ func (s *Space) Groups() int {
 	return n
 }
 
-func (s *Space) invalidate() {
+func (s *Space) invalidate(changedKeys []string) {
 	s.cacheMu.Lock()
 	s.cache = make(map[string]cacheEntry)
 	s.gen++
+	s.recordChangeLocked(changedKeys)
 	s.cacheMu.Unlock()
 }
 
 // invalidateMentioning drops exactly the memo entries whose expression
 // mentions one of the given basic names — entries over disjoint names keep
 // their cached probability, which retirement cannot have changed.
-func (s *Space) invalidateMentioning(names []string) {
+// changedKeys are the names' block keys, recorded for ChangedBlocksSince.
+func (s *Space) invalidateMentioning(names, changedKeys []string) {
 	dead := make(map[string]bool, len(names))
 	for _, n := range names {
 		dead[n] = true
@@ -318,7 +351,48 @@ func (s *Space) invalidateMentioning(names []string) {
 		}
 	}
 	s.gen++
+	s.recordChangeLocked(changedKeys)
 	s.cacheMu.Unlock()
+}
+
+// recordChangeLocked appends one generation's changed-block record,
+// trimming the oldest half past maxTrackedChanges. Caller holds cacheMu,
+// after incrementing gen.
+func (s *Space) recordChangeLocked(keys []string) {
+	s.changes = append(s.changes, genChange{gen: s.gen, keys: keys})
+	if len(s.changes) > maxTrackedChanges {
+		drop := len(s.changes) / 2
+		s.changeFloor = s.changes[drop-1].gen
+		s.changes = append([]genChange(nil), s.changes[drop:]...)
+	}
+}
+
+// ChangedBlocksSince returns every correlated-block key (in Blocks' key
+// space) whose probability semantics may have changed by an invalidation
+// after generation gen, together with the generation the answer is valid
+// as of. ok is false when the change history no longer reaches back to
+// gen — the caller must then assume every block changed. A plan compiled
+// at generation g whose cached footprint is disjoint from the returned
+// set is guaranteed that none of its footprint blocks were retired,
+// regrouped or re-declared in (g, asOf]: its document-side probabilities
+// are still exact.
+func (s *Space) ChangedBlocksSince(gen uint64) (keys map[string]bool, asOf uint64, ok bool) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if gen < s.changeFloor {
+		return nil, s.gen, false
+	}
+	keys = make(map[string]bool)
+	for i := len(s.changes) - 1; i >= 0; i-- {
+		c := s.changes[i]
+		if c.gen <= gen {
+			break
+		}
+		for _, k := range c.keys {
+			keys[k] = true
+		}
+	}
+	return keys, s.gen, true
 }
 
 // Generation returns the space's invalidation counter. It advances on
@@ -476,6 +550,18 @@ func (s *Space) enumerate(e *Expr) (float64, error) {
 	return rec(0, 1), nil
 }
 
+// blockKey is the canonical correlated-block key of one declared basic:
+// its own name for independent events, the shared group key otherwise.
+func blockKey(name string, group int) string {
+	if group == -1 {
+		return "b:" + name
+	}
+	return groupKey(group)
+}
+
+// groupKey is the block key shared by every member of one exclusive group.
+func groupKey(gid int) string { return fmt.Sprintf("g:%d", gid) }
+
 // Blocks adds the canonical correlated-block keys of every basic event
 // mentioned by e into dst: an independent basic contributes its own name,
 // an exclusive-group member contributes its group's key (shared by all
@@ -496,11 +582,7 @@ func (s *Space) Blocks(e *Expr, dst map[string]bool) error {
 		if !ok {
 			return fmt.Errorf("event: basic event %q not declared", n)
 		}
-		if info.group == -1 {
-			dst["b:"+n] = true
-		} else {
-			dst[fmt.Sprintf("g:%d", info.group)] = true
-		}
+		dst[blockKey(n, info.group)] = true
 	}
 	return nil
 }

@@ -205,6 +205,19 @@ func (l *Loader) vocabulary() (concepts, roles map[string]bool) {
 	return concepts, roles
 }
 
+// DomainSize returns the number of registered individuals (dl_domain
+// rows). The domain only grows, so an unchanged size proves that no
+// individual was registered in between — which is what incremental plan
+// maintenance checks before trusting cached memberships of views that read
+// the closed domain (¬, ⊤, nominals).
+func (l *Loader) DomainSize() int {
+	tab, err := l.db.Catalog().Get("dl_domain")
+	if err != nil {
+		return 0
+	}
+	return tab.Len()
+}
+
 // registerIndividual ensures the individual is in the domain table.
 func (l *Loader) registerIndividual(id string) error {
 	tab, err := l.db.Catalog().Get("dl_domain")

@@ -207,6 +207,9 @@ type CacheStats struct {
 	Coalesced int64   `json:"coalesced"`
 	Evicted   int64   `json:"evicted"`
 	HitRate   float64 `json:"hit_rate"`
+	// Refreshed counts misses served by incrementally refreshing a
+	// predecessor plan instead of a full recompile (plan cache only).
+	Refreshed int64 `json:"refreshed,omitempty"`
 }
 
 // stats snapshots the counters without taking c.mu, so a stats scrape
@@ -238,6 +241,7 @@ func (s CacheStats) Merge(o CacheStats) CacheStats {
 		Misses:    s.Misses + o.Misses,
 		Coalesced: s.Coalesced + o.Coalesced,
 		Evicted:   s.Evicted + o.Evicted,
+		Refreshed: s.Refreshed + o.Refreshed,
 	}
 	if total := out.Hits + out.Misses + out.Coalesced; total > 0 {
 		out.HitRate = float64(out.Hits+out.Coalesced) / float64(total)

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"time"
@@ -38,12 +39,25 @@ const maxBodyBytes = 1 << 20
 //	GET    /v1/sessions/{user}          session fingerprint + measurements
 //	DELETE /v1/sessions/{user}          end the session
 //	POST   /v1/rank                     {"user","target","algorithm","threshold","limit","top_k","explain"}
-//	GET    /v1/rank?user=&target=&...   same via query parameters (including top_k)
+//	GET    /v1/rank?user=&target=&...   same via query parameters (DEPRECATED: use POST /v1/rank)
 //	POST   /v1/rank/batch               {"user","algorithm","items":[{"target"|"candidates",...}]} (one plan compile)
+//	POST   /v1/subscriptions            {"user","target"|"candidates","threshold","limit","top_k"[,"id"]} standing rank
+//	GET    /v1/subscriptions            list registered subscriptions
+//	GET    /v1/subscriptions/{id}       one subscription's state
+//	DELETE /v1/subscriptions/{id}       tear the subscription down
+//	GET    /v1/subscriptions/{id}/events  SSE stream: snapshot, then score deltas on every context change
 //	POST   /v1/query                    {"sql":"SELECT ..."} (read-only)
 //	POST   /v1/exec                     {"sql":"INSERT ..."} (write; bumps the epoch)
 //	GET    /v1/stats                    server statistics
 //	GET    /healthz                     liveness
+//
+// Every rank entry point — POST /v1/rank, GET /v1/rank, each batch item
+// and the subscription create — decodes the same result-shaping option
+// block (rankOptionsJSON), so field semantics and validation messages
+// cannot drift between them. Every non-2xx response body is the
+// canonical error envelope: {"error", "code", "request_id"} with a
+// machine-readable code (bad_request, unknown_user, not_found, conflict,
+// rate_limited, degraded, quarantined, internal).
 type Handler struct {
 	srv       Backend
 	mux       *http.ServeMux
@@ -68,6 +82,11 @@ func NewHandlerFor(srv Backend) *Handler {
 	h.mux.HandleFunc("POST /v1/rank", h.rankPost)
 	h.mux.HandleFunc("GET /v1/rank", h.rankGet)
 	h.mux.HandleFunc("POST /v1/rank/batch", h.rankBatch)
+	h.mux.HandleFunc("POST /v1/subscriptions", h.subscribe)
+	h.mux.HandleFunc("GET /v1/subscriptions", h.listSubscriptions)
+	h.mux.HandleFunc("GET /v1/subscriptions/{id}", h.getSubscription)
+	h.mux.HandleFunc("DELETE /v1/subscriptions/{id}", h.unsubscribe)
+	h.mux.HandleFunc("GET /v1/subscriptions/{id}/events", h.subscriptionEvents)
 	h.mux.HandleFunc("POST /v1/query", h.query)
 	h.mux.HandleFunc("POST /v1/exec", h.exec)
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
@@ -156,8 +175,15 @@ func (h *Handler) admitUser(w http.ResponseWriter, r *http.Request, user string)
 
 // --- request/response shapes ----------------------------------------------
 
+// errorResponse is the canonical error envelope: every non-2xx body the
+// API writes has exactly this shape.
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code is the machine-readable error class — bad_request,
+	// unknown_user, not_found, conflict, rate_limited, degraded,
+	// quarantined or internal — stable across message-text changes, so
+	// clients branch on it instead of parsing Error.
+	Code string `json:"code"`
 	// RequestID ties the error to its access-log line and X-Request-ID
 	// header; empty when the handler runs without the middleware.
 	RequestID string `json:"request_id,omitempty"`
@@ -209,9 +235,12 @@ type measurementJSON struct {
 	Source     string  `json:"source,omitempty"`
 }
 
-type rankRequest struct {
-	User      string  `json:"user"`
-	Target    string  `json:"target"`
+// rankOptionsJSON is the one result-shaping option block every rank
+// entry point decodes — POST /v1/rank, GET /v1/rank, each /v1/rank/batch
+// item and the subscription create all embed it, so a field added (or a
+// validation rule changed) here applies to all four at once and their
+// error messages stay byte-identical.
+type rankOptionsJSON struct {
 	Algorithm string  `json:"algorithm,omitempty"`
 	Threshold float64 `json:"threshold,omitempty"`
 	Limit     int     `json:"limit,omitempty"`
@@ -220,6 +249,65 @@ type rankRequest struct {
 	// rejected while an absent field keeps the full-ranking default.
 	TopK    *int `json:"top_k,omitempty"`
 	Explain bool `json:"explain,omitempty"`
+}
+
+// options validates the block and shapes it as RankOptions. field names
+// the top_k field in error messages ("top_k", "items[3].top_k") so batch
+// items report their position. Absent top_k means "full ranking";
+// explicit values must be positive — silently treating 0 as "all" would
+// mask a caller that meant to bound the response and didn't.
+func (o rankOptionsJSON) options(field string) (contextrank.RankOptions, error) {
+	topK := 0
+	if o.TopK != nil {
+		if *o.TopK <= 0 {
+			return contextrank.RankOptions{}, fmt.Errorf("serve: %s must be positive (got %d)", field, *o.TopK)
+		}
+		topK = *o.TopK
+	}
+	return contextrank.RankOptions{
+		Algorithm: contextrank.Algorithm(o.Algorithm),
+		Threshold: o.Threshold,
+		Limit:     o.Limit,
+		TopK:      topK,
+		Explain:   o.Explain,
+	}, nil
+}
+
+// rankQueryOptions decodes the same option block from GET query
+// parameters; numeric parse failures report the offending raw value.
+func rankQueryOptions(q url.Values) (rankOptionsJSON, error) {
+	o := rankOptionsJSON{
+		Algorithm: q.Get("algorithm"),
+		Explain:   q.Get("explain") == "true",
+	}
+	if v := q.Get("threshold"); v != "" {
+		t, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return o, fmt.Errorf("serve: bad threshold %q", v)
+		}
+		o.Threshold = t
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return o, fmt.Errorf("serve: bad limit %q", v)
+		}
+		o.Limit = n
+	}
+	if v := q.Get("top_k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return o, fmt.Errorf("serve: bad top_k %q", v)
+		}
+		o.TopK = &n
+	}
+	return o, nil
+}
+
+type rankRequest struct {
+	User   string `json:"user"`
+	Target string `json:"target"`
+	rankOptionsJSON
 }
 
 type rankResponse struct {
@@ -245,10 +333,7 @@ type rankBatchRequest struct {
 type rankItemJSON struct {
 	Target     string   `json:"target,omitempty"`
 	Candidates []string `json:"candidates,omitempty"`
-	Threshold  float64  `json:"threshold,omitempty"`
-	Limit      int      `json:"limit,omitempty"`
-	TopK       *int     `json:"top_k,omitempty"` // see rankRequest.TopK
-	Explain    bool     `json:"explain,omitempty"`
+	rankOptionsJSON
 }
 
 type rankBatchResponse struct {
@@ -262,6 +347,18 @@ type rankBatchItemJSON struct {
 	Results []resultJSON `json:"results,omitempty"`
 	Cached  bool         `json:"cached"`
 	Error   string       `json:"error,omitempty"`
+}
+
+// subscribeRequest registers a standing rank subscription: the same
+// user/target/candidates shape as a batch item plus the shared option
+// block. ID is optional — set it to make the create idempotent (or to
+// replace an existing subscription); empty mints one.
+type subscribeRequest struct {
+	ID         string   `json:"id,omitempty"`
+	User       string   `json:"user"`
+	Target     string   `json:"target,omitempty"`
+	Candidates []string `json:"candidates,omitempty"`
+	rankOptionsJSON
 }
 
 type sqlRequest struct {
@@ -386,7 +483,7 @@ func (h *Handler) getSession(w http.ResponseWriter, r *http.Request) {
 	annotate(r, user, -1)
 	ms, fp, ok := h.srv.SessionInfo(user)
 	if !ok {
-		writeError(w, r, http.StatusNotFound, fmt.Errorf("serve: no session for %q", user))
+		writeErrorCode(w, r, http.StatusNotFound, "unknown_user", fmt.Errorf("serve: no session for %q", user))
 		return
 	}
 	out := make([]measurementJSON, len(ms))
@@ -422,39 +519,27 @@ func (h *Handler) rankPost(w http.ResponseWriter, r *http.Request) {
 	h.rank(w, r, req)
 }
 
+// rankGetSunset is the Sunset date advertised on the deprecated GET
+// surface (RFC 8594); after it the route may be removed in a major
+// version.
+const rankGetSunset = "Thu, 01 Jan 2027 00:00:00 GMT"
+
+// rankGet is the deprecated query-parameter rank surface. POST /v1/rank
+// is the canonical entry point — it takes the same option block as the
+// batch and subscription routes, and a JSON body does not leak rank
+// targets into proxy access logs the way a query string does. The
+// response carries the standard deprecation headers so clients can
+// detect the status mechanically.
 func (h *Handler) rankGet(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Sunset", rankGetSunset)
 	q := r.URL.Query()
-	req := rankRequest{
-		User:      q.Get("user"),
-		Target:    q.Get("target"),
-		Algorithm: q.Get("algorithm"),
-		Explain:   q.Get("explain") == "true",
+	opts, err := rankQueryOptions(q)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
 	}
-	if v := q.Get("threshold"); v != "" {
-		t, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			writeError(w, r, http.StatusBadRequest, fmt.Errorf("serve: bad threshold %q", v))
-			return
-		}
-		req.Threshold = t
-	}
-	if v := q.Get("limit"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			writeError(w, r, http.StatusBadRequest, fmt.Errorf("serve: bad limit %q", v))
-			return
-		}
-		req.Limit = n
-	}
-	if v := q.Get("top_k"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			writeError(w, r, http.StatusBadRequest, fmt.Errorf("serve: bad top_k %q", v))
-			return
-		}
-		req.TopK = &n
-	}
-	h.rank(w, r, req)
+	h.rank(w, r, rankRequest{User: q.Get("user"), Target: q.Get("target"), rankOptionsJSON: opts})
 }
 
 func (h *Handler) rank(w http.ResponseWriter, r *http.Request, req rankRequest) {
@@ -462,19 +547,13 @@ func (h *Handler) rank(w http.ResponseWriter, r *http.Request, req rankRequest) 
 		writeError(w, r, http.StatusBadRequest, errors.New("serve: rank needs user and target"))
 		return
 	}
-	topK, ok := checkTopK(w, r, req.TopK, "top_k")
-	if !ok {
+	opts, err := req.options("top_k")
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if !h.admitUser(w, r, req.User) {
 		return
-	}
-	opts := contextrank.RankOptions{
-		Algorithm: contextrank.Algorithm(req.Algorithm),
-		Threshold: req.Threshold,
-		Limit:     req.Limit,
-		TopK:      topK,
-		Explain:   req.Explain,
 	}
 	results, meta, err := h.srv.Rank(req.User, req.Target, opts)
 	annotate(r, req.User, meta.Shard)
@@ -522,17 +601,26 @@ func (h *Handler) rankBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	items := make([]RankItem, len(req.Items))
 	for i, it := range req.Items {
-		topK, ok := checkTopK(w, r, it.TopK, fmt.Sprintf("items[%d].top_k", i))
-		if !ok {
+		// The shared option block syntactically admits "algorithm", but a
+		// batch ranks every item under one algorithm (one plan compile);
+		// a per-item value would be silently ignored, so refuse it loudly.
+		if it.Algorithm != "" {
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf(
+				"serve: items[%d].algorithm must be empty; the batch algorithm applies to every item", i))
+			return
+		}
+		opts, err := it.options(fmt.Sprintf("items[%d].top_k", i))
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		items[i] = RankItem{
 			Target:     it.Target,
 			Candidates: it.Candidates,
-			Threshold:  it.Threshold,
-			Limit:      it.Limit,
-			TopK:       topK,
-			Explain:    it.Explain,
+			Threshold:  opts.Threshold,
+			Limit:      opts.Limit,
+			TopK:       opts.TopK,
+			Explain:    opts.Explain,
 		}
 	}
 	results, meta, err := h.srv.RankBatch(req.User, contextrank.Algorithm(req.Algorithm), items)
@@ -557,6 +645,178 @@ func (h *Handler) rankBatch(w http.ResponseWriter, r *http.Request) {
 		out.Items[i] = ij
 	}
 	writeJSON(w, r, http.StatusOK, out)
+}
+
+// --- standing subscriptions ------------------------------------------------
+
+func (h *Handler) subscribe(w http.ResponseWriter, r *http.Request) {
+	var req subscribeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	// The shared option block admits algorithm and explain syntactically;
+	// subscriptions support neither (the evaluator ranks with the default
+	// plan algorithm, and explanations would bloat every pushed delta).
+	if req.Algorithm != "" {
+		writeError(w, r, http.StatusBadRequest, errors.New(
+			"serve: algorithm must be empty; subscriptions rank with the default algorithm"))
+		return
+	}
+	if req.Explain {
+		writeError(w, r, http.StatusBadRequest, errors.New(
+			"serve: explain is not supported on subscriptions"))
+		return
+	}
+	opts, err := req.options("top_k")
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if req.User == "" {
+		writeError(w, r, http.StatusBadRequest, errors.New("serve: subscription needs a user"))
+		return
+	}
+	if !h.admitUser(w, r, req.User) {
+		return
+	}
+	info, err := h.srv.Subscribe(req.ID, SubscriptionSpec{
+		User:       req.User,
+		Target:     req.Target,
+		Candidates: req.Candidates,
+		Threshold:  opts.Threshold,
+		Limit:      opts.Limit,
+		TopK:       opts.TopK,
+	})
+	annotate(r, req.User, info.Shard)
+	if err != nil {
+		writeMutationError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, r, http.StatusCreated, info)
+}
+
+func (h *Handler) listSubscriptions(w http.ResponseWriter, r *http.Request) {
+	subs := h.srv.Subscriptions()
+	if subs == nil {
+		subs = []SubscriptionInfo{}
+	}
+	writeJSON(w, r, http.StatusOK, map[string]any{"subscriptions": subs})
+}
+
+func (h *Handler) getSubscription(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	for _, info := range h.srv.Subscriptions() {
+		if info.ID == id {
+			annotate(r, info.User, info.Shard)
+			writeJSON(w, r, http.StatusOK, info)
+			return
+		}
+	}
+	writeError(w, r, http.StatusNotFound, fmt.Errorf("serve: no subscription %q", id))
+}
+
+func (h *Handler) unsubscribe(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	found, err := h.srv.Unsubscribe(id)
+	if err != nil {
+		writeMutationError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	if !found {
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("serve: no subscription %q", id))
+		return
+	}
+	writeJSON(w, r, http.StatusOK, map[string]string{"status": "unsubscribed"})
+}
+
+// subscriptionEvents is the push side: a Server-Sent Events stream that
+// opens with a full snapshot of the subscription's current ranking and
+// then carries one delta event per relevant state change. The middleware
+// exempts this route from the request timeout and the admission
+// concurrency gate (a standing stream would otherwise pin a slot or be
+// cut at the deadline); the per-user token bucket was already charged by
+// the subscription create.
+func (h *Handler) subscriptionEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := h.srv.SubscriptionStream(id)
+	if err != nil {
+		if errors.Is(err, ErrSubscriptionBusy) {
+			writeError(w, r, http.StatusConflict, err)
+			return
+		}
+		writeError(w, r, http.StatusNotFound, err)
+		return
+	}
+	defer st.Close()
+	annotate(r, st.User(), -1)
+
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // tell buffering proxies not to hold events
+	w.WriteHeader(http.StatusOK)
+	send := func(ev SubEvent) bool {
+		data, merr := json.Marshal(ev)
+		if merr != nil {
+			noteEncodeError(r, fmt.Errorf("encode: %w", merr))
+			return false
+		}
+		if _, werr := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); werr != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
+	if !send(st.Snapshot()) {
+		return
+	}
+
+	keepalive := time.NewTicker(subKeepAlive)
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-st.Events():
+			if !ok {
+				// Unsubscribed (or replaced): tell the consumer this is a
+				// deliberate end, not a broken connection to retry.
+				send(SubEvent{Type: "unsubscribed", ID: id})
+				return
+			}
+			if st.TakeLagged() {
+				// Deltas were dropped while the consumer was behind: the
+				// chain is broken, so drain what is queued (all superseded)
+				// and replace it with one fresh snapshot.
+				for drained := false; !drained; {
+					select {
+					case _, more := <-st.Events():
+						if !more {
+							send(SubEvent{Type: "unsubscribed", ID: id})
+							return
+						}
+					default:
+						drained = true
+					}
+				}
+				if !send(st.Resync()) {
+					return
+				}
+				continue
+			}
+			if !send(ev) {
+				return
+			}
+		case <-keepalive.C:
+			// SSE comment line: keeps idle connections alive through
+			// intermediaries without emitting a client-visible event.
+			if _, werr := io.WriteString(w, ": keepalive\n\n"); werr != nil {
+				return
+			}
+			if rc.Flush() != nil {
+				return
+			}
+		}
+	}
 }
 
 func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
@@ -693,22 +953,6 @@ func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
 	return true
 }
 
-// checkTopK validates an optional top_k field: absent means "full
-// ranking" (0 downstream), explicit values must be positive. An explicit
-// zero or negative is a client error worth rejecting loudly — silently
-// treating 0 as "all" would mask a caller that meant to bound the
-// response and didn't.
-func checkTopK(w http.ResponseWriter, r *http.Request, v *int, field string) (int, bool) {
-	if v == nil {
-		return 0, true
-	}
-	if *v <= 0 {
-		writeError(w, r, http.StatusBadRequest, fmt.Errorf("serve: %s must be positive (got %d)", field, *v))
-		return 0, false
-	}
-	return *v, true
-}
-
 // jsonBufPool recycles response-encoding buffers across requests; the
 // rank path allocates nothing else for the response body, so pooling here
 // keeps the whole serve hot path allocation-light.
@@ -735,7 +979,7 @@ func writeJSON(w http.ResponseWriter, r *http.Request, status int, payload any) 
 	if err := json.NewEncoder(buf).Encode(payload); err != nil {
 		noteEncodeError(r, fmt.Errorf("encode: %w", err))
 		buf.Reset()
-		resp := errorResponse{Error: "serve: response encoding failed"}
+		resp := errorResponse{Error: "serve: response encoding failed", Code: "internal"}
 		if info := requestInfo(r); info != nil {
 			resp.RequestID = info.id
 		}
@@ -751,8 +995,44 @@ func writeJSON(w http.ResponseWriter, r *http.Request, status int, payload any) 
 	}
 }
 
+// errorCode maps a response status + error to the envelope's machine
+// code. Sentinel errors win over the status (a 503 caused by a
+// quarantined shard reports "quarantined", not the generic "degraded")
+// so clients can branch on the cause, not the transport code.
+func errorCode(status int, err error) string {
+	switch {
+	case err != nil && errors.Is(err, ErrQuarantined):
+		return "quarantined"
+	case err != nil && (errors.Is(err, ErrDegraded) || errors.Is(err, ErrNotJournaled)):
+		return "degraded"
+	}
+	switch {
+	case status == http.StatusBadRequest:
+		return "bad_request"
+	case status == http.StatusNotFound:
+		return "not_found"
+	case status == http.StatusConflict:
+		return "conflict"
+	case status == http.StatusTooManyRequests:
+		return "rate_limited"
+	case status == http.StatusServiceUnavailable:
+		return "degraded"
+	case status >= 500:
+		return "internal"
+	default:
+		return "error"
+	}
+}
+
 func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
-	resp := errorResponse{Error: err.Error()}
+	writeErrorCode(w, r, status, errorCode(status, err), err)
+}
+
+// writeErrorCode is writeError with an explicit envelope code, for the
+// few places where the status alone is ambiguous (a 404 on a session
+// lookup is "unknown_user"; on a rule or subscription it is "not_found").
+func writeErrorCode(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
+	resp := errorResponse{Error: err.Error(), Code: code}
 	if info := requestInfo(r); info != nil {
 		resp.RequestID = info.id
 	}

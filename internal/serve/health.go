@@ -26,6 +26,13 @@ const (
 // degraded. The handler maps it to 503 with a Retry-After.
 var ErrDegraded = errors.New("serve: journal degraded; mutations temporarily rejected (reads still served)")
 
+// ErrQuarantined marks an operation refused because a shard is
+// quarantined and its repair has not completed yet. It originates in the
+// shard coordinator (which aliases this sentinel — serve cannot import
+// shard); it lives here so the error envelope can map it to the
+// "quarantined" code.
+var ErrQuarantined = errors.New("shard: quarantined shard pending repair")
+
 // ErrNotJournaled marks the in-flight mutations that hit the disk fault
 // itself: applied in memory, never acknowledged as durable. The handler
 // maps these to 503 + Retry-After exactly like ErrDegraded — the write

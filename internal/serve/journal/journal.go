@@ -1,8 +1,10 @@
 // Package journal is the durable write-ahead log of the serving layer: an
 // append-only, CRC-framed record stream covering every mutation the
-// serving layer acknowledges — session applies and drops (OpSet/OpDrop)
-// and the vocabulary/data writes (OpDeclare, OpAssert, OpAddRules,
-// OpRemoveRule, OpExec). Every acknowledged mutation is fsynced to the
+// serving layer acknowledges — session applies and drops (OpSet/OpDrop),
+// standing rank subscriptions (OpSubscribe/OpUnsubscribe, retired by their
+// in-log successor exactly like session records) and the vocabulary/data
+// writes (OpDeclare, OpAssert, OpAddRules, OpRemoveRule, OpExec). Every
+// acknowledged mutation is fsynced to the
 // journal before the acknowledgement, inside the same critical section
 // that applied it, so journal order equals apply order and boot-time
 // replay reconstructs exactly the acknowledged state by re-applying each
@@ -126,12 +128,24 @@ const (
 	OpRemoveRule Op = 6
 	// OpExec runs a raw SQL DML/DDL statement against the store.
 	OpExec Op = 7
+	// OpSubscribe registers (or replaces) a standing rank subscription.
+	OpSubscribe Op = 8
+	// OpUnsubscribe removes a standing rank subscription by id.
+	OpUnsubscribe Op = 9
 )
 
-// IsVocab reports whether the op mutates durable vocabulary/data state
-// (everything except session ops). Vocabulary records are retired by
-// checkpoints, not by later records.
-func (op Op) IsVocab() bool { return op >= OpDeclare }
+// IsVocab reports whether the op mutates durable vocabulary/data state.
+// Session and subscription ops are not vocabulary: they are superseded by
+// later records for the same key, so the journal retires them on its own.
+// Vocabulary records are retired by checkpoints, not by later records. The
+// range is bounded explicitly — ops added after OpExec (subscriptions) must
+// opt in here, not inherit vocab semantics by position.
+func (op Op) IsVocab() bool { return op >= OpDeclare && op <= OpExec }
+
+// IsSubscription reports whether the op maintains the standing-subscription
+// set (OpSubscribe/OpUnsubscribe). Like session ops, these are routed per
+// user by the shard coordinator and are retired by their in-log successor.
+func (op Op) IsSubscription() bool { return op == OpSubscribe || op == OpUnsubscribe }
 
 // Measurement is the journal's own wire shape for one session measurement.
 // It mirrors situation.Measurement but carries explicit JSON tags so the
@@ -163,6 +177,18 @@ type RoleAssert struct {
 	Src  string  `json:"src"`
 	Dst  string  `json:"dst"`
 	Prob float64 `json:"p"`
+}
+
+// SubSpec is the journaled shape of one standing rank subscription: the
+// rank request it re-evaluates on every context change. Target is DL
+// source text (re-parsed on replay through the ordinary parse path, like
+// rule sources).
+type SubSpec struct {
+	Target     string   `json:"target"`
+	Candidates []string `json:"cands,omitempty"`
+	TopK       int      `json:"top_k,omitempty"`
+	Limit      int      `json:"limit,omitempty"`
+	Threshold  *float64 `json:"threshold,omitempty"`
 }
 
 // Record is one journaled operation. Seq is assigned by the journal at
@@ -202,6 +228,12 @@ type Record struct {
 	Rule string `json:"rule,omitempty"`
 	// Stmt is the OpExec SQL statement.
 	Stmt string `json:"stmt,omitempty"`
+	// SubID identifies a standing subscription (OpSubscribe/OpUnsubscribe).
+	// User carries the subscription owner on both ops, so routed replay can
+	// shard subscription records exactly like session records.
+	SubID string `json:"sid,omitempty"`
+	// Subscription is the OpSubscribe payload.
+	Subscription *SubSpec `json:"subn,omitempty"`
 	// Preserved marks a record re-journaled by recovery after its apply
 	// failed (schema drift, reshard edge cases). Preserved records are
 	// exempt from checkpoint truncation — the snapshot does not contain
@@ -259,6 +291,9 @@ type Stats struct {
 	CompactFailures int64 `json:"compact_failures"`
 	// LiveRecords is the current number of users with a live Set record.
 	LiveRecords int `json:"live_records"`
+	// SubRecords is the current number of standing subscriptions with a
+	// live Subscribe record (retired by Unsubscribe, like Sets by Drops).
+	SubRecords int `json:"sub_records"`
 	// VocabRecords is the current number of retained vocabulary records
 	// (declare/assert/rules/exec not yet covered by a checkpoint, plus
 	// checkpoint-exempt preserved/unknown records).
@@ -299,6 +334,7 @@ func (s Stats) Merge(o Stats) Stats {
 		Compactions:     s.Compactions + o.Compactions,
 		CompactFailures: s.CompactFailures + o.CompactFailures,
 		LiveRecords:     s.LiveRecords + o.LiveRecords,
+		SubRecords:      s.SubRecords + o.SubRecords,
 		VocabRecords:    s.VocabRecords + o.VocabRecords,
 		VocabBytes:      s.VocabBytes + o.VocabBytes,
 		CheckpointSeq:   max(s.CheckpointSeq, o.CheckpointSeq),
@@ -344,6 +380,7 @@ type vocabEntry struct {
 // rewrite once the batch is durable.
 type pending struct {
 	user       string
+	subID      string
 	op         Op
 	seq        uint64
 	payload    []byte
@@ -379,6 +416,7 @@ type Journal struct {
 	size   int64
 	total  int
 	live   map[string]liveEntry
+	subs   map[string]liveEntry // sub id -> latest Subscribe record
 	vocab  []vocabEntry
 	vbytes int64  // framed size of vocab entries (kept incrementally)
 	ckpt   uint64 // highest checkpointed seq this incarnation
@@ -400,6 +438,7 @@ type Journal struct {
 	compactions     atomic.Int64
 	compactFailures atomic.Int64
 	liveCount       atomic.Int64
+	subCount        atomic.Int64
 	vocabCount      atomic.Int64
 	vocabBytes      atomic.Int64
 	ckptSeq         atomic.Uint64
@@ -425,6 +464,7 @@ func Open(path string, opts Options) (*Journal, ReplayStats, error) {
 		opts: opts,
 		fs:   fsOrOS(opts.FS),
 		live: make(map[string]liveEntry),
+		subs: make(map[string]liveEntry),
 	}
 	j.nosync.Store(opts.NoSync)
 	j.cond = sync.NewCond(&j.mu)
@@ -504,6 +544,10 @@ func (j *Journal) applyLive(rec Record, payload []byte) {
 		j.live[rec.User] = liveEntry{seq: rec.Seq, payload: payload}
 	case OpDrop:
 		delete(j.live, rec.User)
+	case OpSubscribe:
+		j.subs[rec.SubID] = liveEntry{seq: rec.Seq, payload: payload}
+	case OpUnsubscribe:
+		delete(j.subs, rec.SubID)
 	case OpDeclare, OpAssert, OpAddRules, OpRemoveRule, OpExec:
 		j.vocab = append(j.vocab, vocabEntry{seq: rec.Seq, payload: payload, exempt: rec.Preserved})
 		j.vbytes += int64(frameOverhead + len(payload))
@@ -515,6 +559,7 @@ func (j *Journal) applyLive(rec Record, payload []byte) {
 
 func (j *Journal) publishCounters() {
 	j.liveCount.Store(int64(len(j.live)))
+	j.subCount.Store(int64(len(j.subs)))
 	j.totalCount.Store(int64(j.total))
 	j.bytes.Store(j.size)
 	j.vocabCount.Store(int64(len(j.vocab)))
@@ -533,6 +578,7 @@ func (j *Journal) Stats() Stats {
 		Compactions:     j.compactions.Load(),
 		CompactFailures: j.compactFailures.Load(),
 		LiveRecords:     int(j.liveCount.Load()),
+		SubRecords:      int(j.subCount.Load()),
 		VocabRecords:    int(j.vocabCount.Load()),
 		VocabBytes:      j.vocabBytes.Load(),
 		CheckpointSeq:   j.ckptSeq.Load(),
@@ -604,7 +650,7 @@ func (j *Journal) Submit(rec Record) func() error {
 		j.mu.Unlock()
 		return waitErr(fmt.Errorf("journal: record for %q is %d bytes (max %d)", rec.User, len(payload), maxRecordSize))
 	}
-	p := &pending{user: rec.User, op: rec.Op, seq: rec.Seq, payload: payload, preserved: rec.Preserved, done: make(chan error, 1)}
+	p := &pending{user: rec.User, subID: rec.SubID, op: rec.Op, seq: rec.Seq, payload: payload, preserved: rec.Preserved, done: make(chan error, 1)}
 	j.queue = append(j.queue, p)
 	j.mu.Unlock()
 	j.cond.Signal()
@@ -891,7 +937,7 @@ func (j *Journal) writeBatch(batch []*pending) error {
 		}
 		j.size += int64(frameOverhead + len(p.payload))
 		j.total++
-		j.applyLive(Record{Op: p.op, Seq: p.seq, User: p.user, Preserved: p.preserved}, p.payload)
+		j.applyLive(Record{Op: p.op, Seq: p.seq, User: p.user, SubID: p.subID, Preserved: p.preserved}, p.payload)
 	}
 	if records > 0 {
 		j.appends.Add(int64(records))
@@ -933,7 +979,7 @@ func (j *Journal) applyCheckpoint(seq uint64) {
 // over the journal, so a crash at any instant leaves either the old
 // complete file or the new complete file — never a mix.
 func (j *Journal) maybeCompact() {
-	retained := len(j.live) + len(j.vocab)
+	retained := len(j.live) + len(j.subs) + len(j.vocab)
 	dead := j.total - retained
 	if j.total < j.opts.CompactMinRecords || dead <= retained {
 		return
@@ -953,8 +999,11 @@ func (j *Journal) maybeCompact() {
 }
 
 func (j *Journal) compact() error {
-	entries := make([]liveEntry, 0, len(j.live)+len(j.vocab))
+	entries := make([]liveEntry, 0, len(j.live)+len(j.subs)+len(j.vocab))
 	for _, e := range j.live {
+		entries = append(entries, e)
+	}
+	for _, e := range j.subs {
 		entries = append(entries, e)
 	}
 	for _, e := range j.vocab {
@@ -1074,13 +1123,15 @@ type ReplayStats struct {
 	Records int
 	// Sets / Drops / Declares / Asserts / RuleAdds / RuleRemoves / Execs
 	// break Records down by operation (unknown ops count only in Records).
-	Sets        int
-	Drops       int
-	Declares    int
-	Asserts     int
-	RuleAdds    int
-	RuleRemoves int
-	Execs       int
+	Sets         int
+	Drops        int
+	Declares     int
+	Asserts      int
+	RuleAdds     int
+	RuleRemoves  int
+	Execs        int
+	Subscribes   int
+	Unsubscribes int
 	// Torn is true when the file ended in an incomplete or corrupt frame;
 	// TornBytes is how many trailing bytes were discarded.
 	Torn      bool
@@ -1199,6 +1250,10 @@ func scan(f File, fn func(rec Record, payload []byte)) (validEnd int64, stats Re
 			stats.RuleRemoves++
 		case OpExec:
 			stats.Execs++
+		case OpSubscribe:
+			stats.Subscribes++
+		case OpUnsubscribe:
+			stats.Unsubscribes++
 		}
 		fn(rec, payload)
 	}

@@ -396,3 +396,97 @@ func TestJournalSubmitAfterClose(t *testing.T) {
 		t.Fatal("append after close succeeded")
 	}
 }
+
+// subRecord builds an OpSubscribe record for tests.
+func subRecord(id, user string) Record {
+	th := 0.25
+	return Record{
+		Op:    OpSubscribe,
+		SubID: id,
+		User:  user,
+		Subscription: &SubSpec{
+			Target:     "TvProgram",
+			Candidates: []string{"d1", "d2"},
+			TopK:       5,
+			Threshold:  &th,
+		},
+	}
+}
+
+// TestJournalSubscriptionLifecycle: Subscribe records round-trip with their
+// spec, are retired by Unsubscribe (not by checkpoints), survive compaction
+// alongside live sessions, and rebuild the retained set on reopen.
+func TestJournalSubscriptionLifecycle(t *testing.T) {
+	j, path := tmpJournal(t, Options{CompactMinRecords: 8})
+	if err := j.Append(setRecord("peter", 0.8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(subRecord("sub-1", "peter")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(subRecord("sub-2", "maria")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpUnsubscribe, SubID: "sub-2", User: "maria"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Stats().SubRecords; got != 1 {
+		t.Fatalf("sub_records = %d, want 1", got)
+	}
+	if OpSubscribe.IsVocab() || OpUnsubscribe.IsVocab() {
+		t.Fatal("subscription ops must not be vocabulary records")
+	}
+	// A checkpoint covering every seq so far must NOT retire the live
+	// subscription: only its own Unsubscribe may.
+	if err := j.Checkpoint(j.Seq()); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Stats().SubRecords; got != 1 {
+		t.Fatalf("sub_records after checkpoint = %d, want 1", got)
+	}
+	// Churn sessions past the compaction floor; the rewrite must carry the
+	// subscription through.
+	for i := 0; i < 64; i++ {
+		if err := j.Append(setRecord("peter", float64(i%10)/10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, rs := collect(t, path)
+	if rs.Subscribes != 1 || rs.Unsubscribes != 0 {
+		t.Fatalf("replay stats after compaction: %+v", rs)
+	}
+	var got *Record
+	for i := range recs {
+		if recs[i].Op == OpSubscribe {
+			got = &recs[i]
+		}
+	}
+	if got == nil || got.SubID != "sub-1" || got.User != "peter" {
+		t.Fatalf("subscription record missing or wrong: %+v", got)
+	}
+	sp := got.Subscription
+	if sp == nil || sp.Target != "TvProgram" || len(sp.Candidates) != 2 ||
+		sp.TopK != 5 || sp.Threshold == nil || *sp.Threshold != 0.25 {
+		t.Fatalf("subscription spec did not round-trip: %+v", sp)
+	}
+
+	// Reopen: the scan must rebuild the retained subscription set.
+	j2, rs2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rs2.Subscribes != 1 || j2.Stats().SubRecords != 1 {
+		t.Fatalf("reopen: stats %+v, sub_records %d", rs2, j2.Stats().SubRecords)
+	}
+	if err := j2.Append(Record{Op: OpUnsubscribe, SubID: "sub-1", User: "peter"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.Stats().SubRecords; got != 0 {
+		t.Fatalf("sub_records after final unsubscribe = %d, want 0", got)
+	}
+}

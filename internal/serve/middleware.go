@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,6 +111,11 @@ func (w *statusRecorder) Write(p []byte) (int, error) {
 	w.bytes += int64(n)
 	return n, err
 }
+
+// Unwrap lets http.NewResponseController reach the underlying writer's
+// Flusher/deadline methods through this wrapper — the SSE stream flushes
+// each event through the observe middleware.
+func (w *statusRecorder) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // logSink serializes JSON-lines writes from concurrent requests onto one
 // io.Writer.
@@ -227,13 +233,26 @@ func exemptPath(r *http.Request) bool {
 	return r.URL.Path == "/healthz" || r.URL.Path == "/metrics"
 }
 
+// streamingPath reports whether the request is a long-lived event stream
+// (GET /v1/subscriptions/{id}/events). Streams are exempt from the
+// request timeout (a standing push connection has no natural deadline)
+// and from the admission concurrency gate (each stream would pin a slot
+// for its whole lifetime, starving request traffic; the subscription
+// create already charged the per-user token bucket). Drain still applies:
+// new streams are refused during shutdown.
+func streamingPath(r *http.Request) bool {
+	return r.Method == http.MethodGet &&
+		strings.HasPrefix(r.URL.Path, "/v1/subscriptions/") &&
+		strings.HasSuffix(r.URL.Path, "/events")
+}
+
 // admissionGate applies the global concurrency gate + bounded queue.
 func admissionGate(next http.Handler, adm *Admission) http.Handler {
 	if adm == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if exemptPath(r) {
+		if exemptPath(r) || streamingPath(r) {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -324,7 +343,7 @@ func requestTimeout(next http.Handler, d time.Duration) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if exemptPath(r) {
+		if exemptPath(r) || streamingPath(r) {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -337,6 +356,11 @@ func requestTimeout(next http.Handler, d time.Duration) http.Handler {
 		// deadline still applies.
 		_ = rc.SetReadDeadline(deadline)
 		_ = rc.SetWriteDeadline(deadline.Add(time.Second))
-		next.ServeHTTP(w, r.WithContext(ctx))
+		// WithContext shallow-copies the request, and the inner ServeMux
+		// sets Pattern on that copy — carry it back so the outer observe
+		// middleware labels the route instead of "other".
+		r2 := r.WithContext(ctx)
+		next.ServeHTTP(w, r2)
+		r.Pattern = r2.Pattern
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/serve/metrics"
 
@@ -268,5 +269,46 @@ func TestHealthzBypassesAdmission(t *testing.T) {
 	mresp.Body.Close()
 	if mresp.StatusCode != http.StatusOK {
 		t.Fatalf("metrics under saturation = %d, want 200", mresp.StatusCode)
+	}
+}
+
+// TestRouteLabelsSurviveRequestTimeout: the request-timeout middleware
+// shallow-copies the request (WithContext), and the mux sets Pattern on
+// that copy — the timeout wrapper must carry it back so metrics and the
+// access log label the route instead of "other".
+func TestRouteLabelsSurviveRequestTimeout(t *testing.T) {
+	var buf bytes.Buffer
+	srv := NewServer(contextrank.NewSystem(), Options{})
+	reg := metrics.NewRegistry()
+	ts := httptest.NewServer(NewHandlerWith(srv, HandlerOptions{
+		AccessLog:      &buf,
+		Metrics:        reg,
+		RequestTimeout: 5 * time.Second,
+	}))
+	t.Cleanup(ts.Close)
+
+	call(t, ts, "POST", "/v1/declare", `{"concepts":["Thing","Ctx"]}`, http.StatusOK, nil)
+	call(t, ts, "PUT", "/v1/sessions/alice/context",
+		`{"measurements":[{"concept":"Ctx","prob":1}]}`, http.StatusOK, nil)
+	call(t, ts, "POST", "/v1/rank", `{"user":"alice","target":"Thing"}`, http.StatusOK, nil)
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := body.String()
+	if !strings.Contains(text, `carserve_http_requests_total{route="POST /v1/rank",code="200"} 1`) {
+		t.Errorf("scrape missing the POST /v1/rank route label:\n%s", text)
+	}
+	if strings.Contains(text, `route="other"`) {
+		t.Errorf("matched routes fell back to the \"other\" label:\n%s", text)
+	}
+	if !strings.Contains(buf.String(), `"route":"POST /v1/rank"`) {
+		t.Errorf("access log lost the route pattern: %s", buf.String())
 	}
 }

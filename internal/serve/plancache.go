@@ -38,12 +38,32 @@ func planKey(user, rulesFP string, epoch, ctxEpoch int64) string {
 	return b.String()
 }
 
+// planBaseKey is planKey without the context epoch: the identity under
+// which successive context epochs' plans are predecessors of one another.
+// A cache miss at the full key probes this index for the user's latest
+// plan at the same (rules, data epoch) and incrementally refreshes it
+// instead of recompiling.
+func planBaseKey(user, rulesFP string, epoch int64) string {
+	var b strings.Builder
+	b.Grow(len(user) + len(rulesFP) + 32)
+	field := func(s string) {
+		b.WriteString(strconv.Itoa(len(s)))
+		b.WriteByte(':')
+		b.WriteString(s)
+	}
+	field(user)
+	field(rulesFP)
+	b.WriteString(strconv.FormatInt(epoch, 10))
+	return b.String()
+}
+
 // planEntry is one cached compiled plan. A nil plan is a negative entry:
 // the rule set is known not to compile at this key's state (cluster bound),
 // so callers fail fast into the per-candidate fallback.
 type planEntry struct {
-	key  string
-	plan *contextrank.RankPlan
+	key     string
+	baseKey string
+	plan    *contextrank.RankPlan
 }
 
 // planCache is an LRU of compiled rank plans. Invalidation is purely
@@ -64,11 +84,13 @@ type planCache struct {
 	capacity int
 	ll       *list.List               // front = most recently used
 	items    map[string]*list.Element // key -> *planEntry element
+	latest   map[string]*list.Element // baseKey -> most recently added entry
 
-	size    atomic.Int64
-	hits    atomic.Int64
-	misses  atomic.Int64
-	evicted atomic.Int64
+	size      atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evicted   atomic.Int64
+	refreshed atomic.Int64
 }
 
 func newPlanCache(capacity int) *planCache {
@@ -79,6 +101,7 @@ func newPlanCache(capacity int) *planCache {
 		capacity: capacity,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
+		latest:   make(map[string]*list.Element),
 	}
 }
 
@@ -96,24 +119,50 @@ func (c *planCache) get(key string) (*contextrank.RankPlan, bool) {
 	return el.Value.(*planEntry).plan, true
 }
 
+// getLatest returns the most recently added live plan under the base key
+// (user, rules fingerprint, data epoch) regardless of context epoch — the
+// predecessor an incremental refresh starts from. Negative entries are
+// skipped: the cluster bound is a property of the footprint partition and a
+// refresh would just rediscover it.
+func (c *planCache) getLatest(baseKey string) (*contextrank.RankPlan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.latest[baseKey]
+	if !ok {
+		return nil, false
+	}
+	plan := el.Value.(*planEntry).plan
+	if plan == nil {
+		return nil, false
+	}
+	return plan, true
+}
+
 // add inserts the plan under key, evicting from the LRU tail past
 // capacity. Concurrent compiles of the same key are not coalesced (the
 // compile runs under the facade read lock, where blocking peers on a
 // cache-level flight would serialize the read path); the last writer wins
 // and the duplicates are identical.
-func (c *planCache) add(key string, plan *contextrank.RankPlan) {
+func (c *planCache) add(key, baseKey string, plan *contextrank.RankPlan) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		el.Value.(*planEntry).plan = plan
 		c.ll.MoveToFront(el)
+		c.latest[baseKey] = el
 		return
 	}
-	c.items[key] = c.ll.PushFront(&planEntry{key: key, plan: plan})
+	el := c.ll.PushFront(&planEntry{key: key, baseKey: baseKey, plan: plan})
+	c.items[key] = el
+	c.latest[baseKey] = el
 	for c.ll.Len() > c.capacity {
 		back := c.ll.Back()
 		c.ll.Remove(back)
-		delete(c.items, back.Value.(*planEntry).key)
+		ent := back.Value.(*planEntry)
+		delete(c.items, ent.key)
+		if c.latest[ent.baseKey] == back {
+			delete(c.latest, ent.baseKey)
+		}
 		c.evicted.Add(1)
 	}
 	c.size.Store(int64(c.ll.Len()))
@@ -123,11 +172,12 @@ func (c *planCache) add(key string, plan *contextrank.RankPlan) {
 // may be mutually inconsistent by a request; ratios do not care).
 func (c *planCache) stats() CacheStats {
 	s := CacheStats{
-		Size:     int(c.size.Load()),
-		Capacity: c.capacity,
-		Hits:     c.hits.Load(),
-		Misses:   c.misses.Load(),
-		Evicted:  c.evicted.Load(),
+		Size:      int(c.size.Load()),
+		Capacity:  c.capacity,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evicted:   c.evicted.Load(),
+		Refreshed: c.refreshed.Load(),
 	}
 	if total := s.Hits + s.Misses; total > 0 {
 		s.HitRate = float64(s.Hits) / float64(total)

@@ -107,6 +107,18 @@ func RegisterBackendMetrics(reg *metrics.Registry, b Backend) {
 			w.Sample("carserve_broadcast_max_seconds", st.Broadcast.MaxMicros/1e6)
 		}
 
+		if st.Subs != nil {
+			w.Family("carserve_subscriptions_active", "gauge", "Registered standing rank subscriptions.")
+			w.Sample("carserve_subscriptions_active", float64(st.Subs.Active))
+			w.Family("carserve_subscription_events_total", "counter", "Subscription events pushed (snapshots + deltas + errors).")
+			w.Sample("carserve_subscription_events_total", float64(st.Subs.Events))
+			w.Family("carserve_subscription_evals_total", "counter", "Subscription re-rank evaluations, by outcome (skipped = state key unchanged).")
+			w.Sample("carserve_subscription_evals_total", float64(st.Subs.Evals), "result", "evaluated")
+			w.Sample("carserve_subscription_evals_total", float64(st.Subs.Skipped), "result", "skipped")
+			w.Family("carserve_subscription_lag_events_total", "counter", "Events dropped because a stream consumer was behind (each run ends in a resync).")
+			w.Sample("carserve_subscription_lag_events_total", float64(st.Subs.Lagged))
+		}
+
 		exportHealth(w, st, shards)
 	})
 }

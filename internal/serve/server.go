@@ -66,6 +66,19 @@ type Backend interface {
 	Query(stmt string) (*contextrank.QueryResult, error)
 	// Exec runs a mutating SQL statement.
 	Exec(stmt string) (*contextrank.QueryResult, int64, error)
+	// Subscribe registers (or, on an existing id, replaces) a standing
+	// rank subscription: the backend re-evaluates the request after every
+	// relevant mutation and pushes score deltas to the subscription's
+	// event stream. An empty id mints one. Journaled like a session write.
+	Subscribe(id string, spec SubscriptionSpec) (SubscriptionInfo, error)
+	// Unsubscribe removes a subscription and ends its stream, reporting
+	// whether it existed.
+	Unsubscribe(id string) (bool, error)
+	// Subscriptions lists the registered subscriptions.
+	Subscriptions() []SubscriptionInfo
+	// SubscriptionStream attaches the (single) event consumer to a
+	// subscription, returning its opening snapshot and live channel.
+	SubscriptionStream(id string) (*SubStream, error)
 	// Stats snapshots the backend's observable state.
 	Stats() Stats
 }
@@ -100,6 +113,7 @@ type Server struct {
 	plans    *planCache // nil when plan caching is disabled
 	latency  *latencyRecorder
 	health   *diskHealth
+	subs     *subRegistry
 	start    time.Time
 	requests atomic.Int64
 }
@@ -113,6 +127,7 @@ func NewServer(sys *contextrank.System, opts Options) *Server {
 		facade:  NewFacade(sys),
 		latency: &latencyRecorder{},
 		health:  &diskHealth{enabled: opts.DegradeOnDiskError},
+		subs:    newSubRegistry(),
 		start:   time.Now(),
 	}
 	srv.sessions = newSessions(srv.facade)
@@ -237,10 +252,19 @@ func (s *Server) rankTarget(sys *contextrank.System, user, target string, opts c
 // partition exceeds the cluster bound is cached as a nil entry — a
 // negative verdict — so repeated requests at the same state fail fast into
 // the per-candidate fallback instead of recompiling.
+//
+// A miss caused purely by a context-epoch advance — the user's plan at the
+// same (rules, data epoch) exists for an older context — is served by
+// incrementally refreshing that predecessor instead of recompiling: the
+// refresh re-resolves only the context side and carries over the
+// preference membership maps, footprints and unaffected document-side
+// distributions (see contextrank.RefreshRankPlan). Refresh failures fall
+// back to a full compile; correctness never depends on the fast path.
 func (s *Server) planFor(sys *contextrank.System, user string, e int64) (*contextrank.RankPlan, error) {
 	if s.plans == nil {
 		return sys.CompileRankPlan(user)
 	}
+	baseKey := planBaseKey(user, sys.RulesFingerprint(), e)
 	key := planKey(user, sys.RulesFingerprint(), e, s.sessions.ContextEpoch())
 	if plan, ok := s.plans.get(key); ok {
 		if plan == nil {
@@ -248,14 +272,21 @@ func (s *Server) planFor(sys *contextrank.System, user string, e int64) (*contex
 		}
 		return plan, nil
 	}
+	if prev, ok := s.plans.getLatest(baseKey); ok {
+		if plan, err := sys.RefreshRankPlan(prev); err == nil {
+			s.plans.refreshed.Add(1)
+			s.plans.add(key, baseKey, plan)
+			return plan, nil
+		}
+	}
 	plan, err := sys.CompileRankPlan(user)
 	if err != nil {
 		if errors.Is(err, contextrank.ErrPlanClusterBound) {
-			s.plans.add(key, nil)
+			s.plans.add(key, baseKey, nil)
 		}
 		return nil, err
 	}
-	s.plans.add(key, plan)
+	s.plans.add(key, baseKey, plan)
 	return plan, nil
 }
 
@@ -479,6 +510,7 @@ func (s *Server) DeclareTagged(bid uint64, concepts, roles []string, subs []SubC
 		}
 		return opErr
 	})
+	s.pokeSubs() // a partial apply still moved the epoch
 	return epoch, s.finishJournal(err, wait, rec, "declare")
 }
 
@@ -528,6 +560,7 @@ func (s *Server) AssertTagged(bid uint64, concepts []ConceptAssertion, roles []R
 		}
 		return opErr
 	})
+	s.pokeSubs()
 	return epoch, s.finishJournal(err, wait, rec, "assert")
 }
 
@@ -570,6 +603,7 @@ func (s *Server) AddRulesTagged(bid uint64, texts []string) ([]string, int64, er
 		}
 		return opErr
 	})
+	s.pokeSubs()
 	return added, epoch, s.finishJournal(err, wait, rec, "add rules")
 }
 
@@ -596,12 +630,18 @@ func (s *Server) RemoveRuleTagged(bid uint64, name string) (int64, error) {
 		}
 		return nil
 	})
+	s.pokeSubs()
 	return epoch, s.finishJournal(err, wait, rec, "rule removal")
 }
 
-// SetSession replaces the user's session context.
+// SetSession replaces the user's session context. The context apply is
+// what moves subscription scores most often, so it pokes the standing-
+// subscription evaluator on its way out (even on error: a journal
+// failure leaves the context applied in memory — see Sessions.Set).
 func (s *Server) SetSession(user string, ms []Measurement) (string, error) {
-	return s.sessions.Set(user, ms)
+	fp, err := s.sessions.Set(user, ms)
+	s.pokeSubs()
+	return fp, err
 }
 
 // SessionInfo returns the user's measurements and fingerprint.
@@ -610,7 +650,11 @@ func (s *Server) SessionInfo(user string) ([]Measurement, string, bool) {
 }
 
 // DropSession ends the user's session.
-func (s *Server) DropSession(user string) error { return s.sessions.Drop(user) }
+func (s *Server) DropSession(user string) error {
+	err := s.sessions.Drop(user)
+	s.pokeSubs()
+	return err
+}
 
 // Query runs a read-only SELECT through the facade.
 func (s *Server) Query(stmt string) (*contextrank.QueryResult, error) {
@@ -646,6 +690,7 @@ func (s *Server) ExecTagged(bid uint64, stmt string) (*contextrank.QueryResult, 
 		}
 		return nil
 	})
+	s.pokeSubs()
 	return res, epoch, s.finishJournal(err, wait, rec, "exec")
 }
 
@@ -716,6 +761,9 @@ type Stats struct {
 	// Broadcast describes cross-shard vocabulary writes; only a sharded
 	// backend fills it.
 	Broadcast *BroadcastStats `json:"broadcast,omitempty"`
+	// Subs is the standing-subscription subsystem: registered
+	// subscriptions, pushed events, evaluator work and skip counts.
+	Subs *SubscriptionStats `json:"subscriptions,omitempty"`
 	// HotPath is the rank hot path's scratch-pool and document-
 	// distribution-cache effectiveness. The counters are process-global
 	// (see contextrank.HotPathStats), so a sharded backend reports them
@@ -783,6 +831,11 @@ type RecoveryStats struct {
 	// SkippedDuplicate counts broadcast records deduplicated by BID —
 	// every shard's WAL holds a copy; exactly one is applied.
 	SkippedDuplicate int `json:"skipped_duplicate"`
+	// Subscribes/Unsubscribes count standing-subscription records
+	// replayed: journaled subscriptions re-register at boot, so a client's
+	// push stream resumes after a crash without re-subscribing.
+	Subscribes   int `json:"subscribes"`
+	Unsubscribes int `json:"unsubscribes"`
 	// Failed counts records whose re-apply errored; they are preserved in
 	// the new journal generation (marked checkpoint-exempt) instead of
 	// being dropped.
@@ -837,5 +890,7 @@ func (s *Server) Stats() Stats {
 	}
 	hp := contextrank.ReadHotPathStats()
 	st.HotPath = &hp
+	ss := s.subs.stats()
+	st.Subs = &ss
 	return st
 }

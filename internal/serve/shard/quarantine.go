@@ -16,7 +16,9 @@ import (
 // ErrQuarantined marks an operation refused because a shard is
 // quarantined and its repair has not completed yet. Checkpoint returns
 // it rather than cutting a snapshot that would freeze the divergence.
-var ErrQuarantined = errors.New("shard: quarantined shard pending repair")
+// The sentinel lives in serve (the error-envelope layer maps it to a
+// machine-readable code there; serve cannot import shard).
+var ErrQuarantined = serve.ErrQuarantined
 
 // maxQuarantineShards bounds the quarantine bitmask. A coordinator with
 // more shards still works — shards past the mask just never quarantine
@@ -267,6 +269,29 @@ func (c *Coordinator) RepairShard(i int) error {
 			c.shards[i].DropSession(user)
 		}
 		delete(c.quar.rerouted, user)
+	}
+	// Migrate standing subscriptions home the same way: any subscription
+	// whose owner routes to the repaired shard but that lives elsewhere
+	// was rerouted (or created) while the shard was out. Re-register on
+	// the home shard, then retire the replica's copy; both sides journal,
+	// so the WALs track the move. The replica-side stream ends — the SSE
+	// layer tells the consumer to reconnect, which finds the home copy.
+	for k, s := range c.shards {
+		if k == i {
+			continue
+		}
+		for _, info := range s.Subscriptions() {
+			if ShardIndex(info.User, len(c.shards)) != i {
+				continue
+			}
+			spec := serve.SubscriptionSpec{
+				User: info.User, Target: info.Target, Candidates: info.Candidates,
+				Threshold: info.Threshold, Limit: info.Limit, TopK: info.TopK,
+			}
+			if _, err := c.shards[i].Subscribe(info.ID, spec); err == nil {
+				s.Unsubscribe(info.ID)
+			}
+		}
 	}
 	delete(c.quar.info, i)
 	c.quar.streak[i] = 0

@@ -241,6 +241,29 @@ func (c *Coordinator) Recover(dir string, opts journal.Options) (RecoveryStats, 
 					case journal.OpExec:
 						stats.Execs++
 					}
+				case journal.OpSubscribe:
+					// Standing subscriptions re-register through the routed
+					// path: the re-subscribe journals into the new generation
+					// and the push stream resumes without the client
+					// re-subscribing (it reconnects to the same id).
+					if rec.Subscription == nil {
+						preserve(rec)
+						return nil
+					}
+					spec := serve.FromJournalSubscription(rec.User, *rec.Subscription)
+					if _, err := c.Subscribe(rec.SubID, spec); err != nil {
+						preserve(rec)
+						return nil
+					}
+					stats.Subscribes++
+				case journal.OpUnsubscribe:
+					// Replay order within a file matches append order, so this
+					// retires any earlier re-subscribe of the id.
+					if _, err := c.Unsubscribe(rec.SubID); err != nil {
+						preserve(rec)
+						return nil
+					}
+					stats.Unsubscribes++
 				default:
 					// A record from a newer format revision: preserve it
 					// verbatim rather than abort (or silently drop) — a
@@ -401,6 +424,14 @@ func (c *Coordinator) CloseJournals() error {
 func journalOrZero(s *journal.Stats) journal.Stats {
 	if s == nil {
 		return journal.Stats{}
+	}
+	return *s
+}
+
+// subsOrZero unwraps an aggregate subscription-stats pointer for merging.
+func subsOrZero(s *serve.SubscriptionStats) serve.SubscriptionStats {
+	if s == nil {
+		return serve.SubscriptionStats{}
 	}
 	return *s
 }

@@ -245,6 +245,80 @@ func (c *Coordinator) DropSession(user string) error {
 	return err
 }
 
+// --- standing subscriptions ------------------------------------------------
+
+// Subscribe registers a standing rank subscription on the owner's shard —
+// the subscription's repeated re-rank then shares the user's session,
+// rank cache and compiled plans. While the home shard is quarantined the
+// subscription lands on the healthy stand-in (same reroute and migration
+// record as SetSession; RepairShard moves it home).
+func (c *Coordinator) Subscribe(id string, spec serve.SubscriptionSpec) (serve.SubscriptionInfo, error) {
+	home := ShardIndex(spec.User, len(c.shards))
+	if c.quar.mask.Load()&maskBit(home) == 0 {
+		info, err := c.shards[home].Subscribe(id, spec)
+		info.Shard = home
+		return info, err
+	}
+	c.quar.mu.Lock()
+	defer c.quar.mu.Unlock()
+	mask := c.quar.mask.Load()
+	if mask&maskBit(home) == 0 {
+		info, err := c.shards[home].Subscribe(id, spec)
+		info.Shard = home
+		return info, err
+	}
+	alt := rerouteIndex(spec.User, mask, len(c.shards))
+	info, err := c.shards[alt].Subscribe(id, spec)
+	info.Shard = alt
+	if err == nil {
+		c.quar.rerouted[spec.User] = home
+	}
+	return info, err
+}
+
+// Unsubscribe removes a subscription wherever it lives. There is no
+// id→shard map — ids are client-chosen or minted per subscribe — so the
+// lookup scans each shard's registry; an unknown id is (false, nil)
+// without journaling anything (the per-shard resurrection guard only
+// matters when the shard itself applied a removal, and then the shard's
+// own Unsubscribe journals it).
+func (c *Coordinator) Unsubscribe(id string) (bool, error) {
+	for _, s := range c.shards {
+		for _, info := range s.Subscriptions() {
+			if info.ID == id {
+				return s.Unsubscribe(id)
+			}
+		}
+	}
+	return false, nil
+}
+
+// Subscriptions lists every shard's subscriptions, tagging each with the
+// shard currently holding it.
+func (c *Coordinator) Subscriptions() []serve.SubscriptionInfo {
+	var out []serve.SubscriptionInfo
+	for i, s := range c.shards {
+		for _, info := range s.Subscriptions() {
+			info.Shard = i
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// SubscriptionStream attaches the event consumer to a subscription on
+// whichever shard holds it.
+func (c *Coordinator) SubscriptionStream(id string) (*serve.SubStream, error) {
+	for _, s := range c.shards {
+		for _, info := range s.Subscriptions() {
+			if info.ID == id {
+				return s.SubscriptionStream(id)
+			}
+		}
+	}
+	return nil, fmt.Errorf("serve: no subscription %q", id)
+}
+
 // --- broadcast writes ------------------------------------------------------
 
 // broadcast assigns the write a fresh broadcast id and applies fn to
@@ -471,6 +545,10 @@ func (c *Coordinator) Stats() serve.Stats {
 		agg.Cache = agg.Cache.Merge(st.Cache)
 		agg.Plans = agg.Plans.Merge(st.Plans)
 		agg.Latency = agg.Latency.Merge(st.Latency)
+		if st.Subs != nil {
+			merged := st.Subs.Merge(subsOrZero(agg.Subs))
+			agg.Subs = &merged
+		}
 		if st.Journal != nil {
 			merged := st.Journal.Merge(journalOrZero(agg.Journal))
 			agg.Journal = &merged

@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// callCode issues a request expected to fail and returns the decoded
+// canonical error envelope.
+func callCode(t *testing.T, ts *httptest.Server, method, path, body string, status int) errorResponse {
+	t.Helper()
+	var req *http.Request
+	var err error
+	if body == "" {
+		req, err = http.NewRequest(method, ts.URL+path, nil)
+	} else {
+		req, err = http.NewRequest(method, ts.URL+path, bytes.NewBufferString(body))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("%s %s: decoding error envelope: %v", method, path, err)
+	}
+	if resp.StatusCode != status {
+		t.Fatalf("%s %s: status %d (want %d): %s", method, path, resp.StatusCode, status, e.Error)
+	}
+	if e.Error == "" {
+		t.Fatalf("%s %s: envelope has no error message", method, path)
+	}
+	return e
+}
+
+// subHTTPServer stands up the full middleware stack over the shared TV
+// system with peter's CtxA session applied.
+func subHTTPServer(t *testing.T, timeout time.Duration) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := subTestServer(t)
+	applyCtx(t, srv, "peter", "CtxA", 1)
+	ts := httptest.NewServer(NewHandlerWith(srv, HandlerOptions{RequestTimeout: timeout}))
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// TestHTTPSubscriptionCRUD drives the subscription endpoints end to end
+// and pins the canonical error envelope's machine codes on every failure
+// shape the surface can produce.
+func TestHTTPSubscriptionCRUD(t *testing.T) {
+	_, ts := subHTTPServer(t, 0)
+
+	var info SubscriptionInfo
+	call(t, ts, "POST", "/v1/subscriptions",
+		`{"user":"peter","target":"TvProgram","top_k":3}`,
+		http.StatusCreated, &info)
+	if !strings.HasPrefix(info.ID, "sub-") || info.User != "peter" || info.TopK != 3 {
+		t.Fatalf("created = %+v", info)
+	}
+
+	var list struct {
+		Subscriptions []SubscriptionInfo `json:"subscriptions"`
+	}
+	call(t, ts, "GET", "/v1/subscriptions", "", http.StatusOK, &list)
+	if len(list.Subscriptions) != 1 || list.Subscriptions[0].ID != info.ID {
+		t.Fatalf("list = %+v", list.Subscriptions)
+	}
+
+	var got SubscriptionInfo
+	call(t, ts, "GET", "/v1/subscriptions/"+info.ID, "", http.StatusOK, &got)
+	if got.ID != info.ID || got.Target != "TvProgram" {
+		t.Fatalf("get = %+v", got)
+	}
+
+	var status struct {
+		Status string `json:"status"`
+	}
+	call(t, ts, "DELETE", "/v1/subscriptions/"+info.ID, "", http.StatusOK, &status)
+	if status.Status != "unsubscribed" {
+		t.Fatalf("delete status = %q", status.Status)
+	}
+
+	// Every failure shape answers with the envelope and its machine code.
+	cases := []struct {
+		method, path, body string
+		status             int
+		code               string
+	}{
+		{"DELETE", "/v1/subscriptions/" + info.ID, "", http.StatusNotFound, "not_found"},
+		{"GET", "/v1/subscriptions/" + info.ID, "", http.StatusNotFound, "not_found"},
+		{"GET", "/v1/subscriptions/nope/events", "", http.StatusNotFound, "not_found"},
+		{"POST", "/v1/subscriptions", `{"user":"peter","target":"TvProgram","top_k":-1}`,
+			http.StatusBadRequest, "bad_request"},
+		{"POST", "/v1/subscriptions", `{"user":"peter","target":"TvProgram","algorithm":"naive"}`,
+			http.StatusBadRequest, "bad_request"},
+		{"POST", "/v1/subscriptions", `{"user":"peter","target":"TvProgram","explain":true}`,
+			http.StatusBadRequest, "bad_request"},
+		{"POST", "/v1/subscriptions", `{"user":"peter","target":"TvProgram","candidates":["tv00"]}`,
+			http.StatusBadRequest, "bad_request"},
+		{"POST", "/v1/subscriptions", `{"user":"peter"}`,
+			http.StatusBadRequest, "bad_request"},
+		{"POST", "/v1/subscriptions", `{"user":"peter","target":"TvProgram","bogus":1}`,
+			http.StatusBadRequest, "bad_request"},
+		{"GET", "/v1/sessions/ghost", "", http.StatusNotFound, "unknown_user"},
+	}
+	for _, c := range cases {
+		e := callCode(t, ts, c.method, c.path, c.body, c.status)
+		if e.Code != c.code {
+			t.Errorf("%s %s: code %q, want %q (error %q)", c.method, c.path, e.Code, c.code, e.Error)
+		}
+		if e.RequestID == "" {
+			t.Errorf("%s %s: envelope missing request_id", c.method, c.path)
+		}
+	}
+}
+
+// TestHTTPRankGetDeprecated: the query-parameter rank surface still
+// works but carries the deprecation headers pointing clients at POST.
+func TestHTTPRankGetDeprecated(t *testing.T) {
+	_, ts := subHTTPServer(t, 0)
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/rank?user=peter&target=TvProgram&top_k=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/rank status %d", resp.StatusCode)
+	}
+	if dep := resp.Header.Get("Deprecation"); dep != "true" {
+		t.Fatalf("Deprecation header = %q, want true", dep)
+	}
+	if sun := resp.Header.Get("Sunset"); sun != rankGetSunset {
+		t.Fatalf("Sunset header = %q, want %q", sun, rankGetSunset)
+	}
+
+	// The canonical POST surface must not advertise deprecation.
+	post, err := ts.Client().Post(ts.URL+"/v1/rank", "application/json",
+		strings.NewReader(`{"user":"peter","target":"TvProgram","top_k":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer post.Body.Close()
+	if post.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/rank status %d", post.StatusCode)
+	}
+	if dep := post.Header.Get("Deprecation"); dep != "" {
+		t.Fatalf("POST /v1/rank carries Deprecation %q", dep)
+	}
+}
+
+// sseReader incrementally parses an SSE stream's "event:"/"data:" pairs,
+// skipping keepalive comments.
+type sseReader struct {
+	scan *bufio.Scanner
+}
+
+func (s *sseReader) next(t *testing.T) (string, SubEvent) {
+	t.Helper()
+	var typ string
+	for s.scan.Scan() {
+		line := s.scan.Text()
+		switch {
+		case strings.HasPrefix(line, ":"): // keepalive comment
+		case strings.HasPrefix(line, "event: "):
+			typ = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var ev SubEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad SSE data line %q: %v", line, err)
+			}
+			if typ == "" || typ != ev.Type {
+				t.Fatalf("SSE event line %q disagrees with data type %q", typ, ev.Type)
+			}
+			return typ, ev
+		case line == "":
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	t.Fatalf("SSE stream ended early: %v", s.scan.Err())
+	panic("unreachable")
+}
+
+// TestHTTPSubscriptionSSE is the acceptance-criteria flow over a live
+// HTTP server with the full middleware stack: subscribe, open the event
+// stream, read the snapshot, outlive the request timeout (streams are
+// exempt), apply a context change, read the delta, observe the 409 on a
+// second attach, unsubscribe, read the terminal event.
+func TestHTTPSubscriptionSSE(t *testing.T) {
+	srv, ts := subHTTPServer(t, 300*time.Millisecond)
+
+	var info SubscriptionInfo
+	call(t, ts, "POST", "/v1/subscriptions",
+		`{"user":"peter","target":"TvProgram"}`, http.StatusCreated, &info)
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/subscriptions/" + info.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	events := &sseReader{scan: bufio.NewScanner(resp.Body)}
+
+	typ, snap := events.next(t)
+	if typ != "snapshot" || len(snap.Results) == 0 {
+		t.Fatalf("opening event = %q %+v", typ, snap)
+	}
+	sameScoreMaps(t, subScores(snap.Results), wantScores(t, srv, "peter"), "SSE snapshot")
+
+	// A second concurrent attach must be refused while this one lives.
+	e := callCode(t, ts, "GET", "/v1/subscriptions/"+info.ID+"/events", "", http.StatusConflict)
+	if e.Code != "conflict" {
+		t.Fatalf("second attach code %q, want conflict", e.Code)
+	}
+
+	// Sleep past the request timeout: the stream route is exempt, so the
+	// connection must still be alive to carry the delta.
+	time.Sleep(400 * time.Millisecond)
+	call(t, ts, "PUT", "/v1/sessions/peter/context",
+		`{"measurements":[{"concept":"CtxB","prob":1}]}`, http.StatusOK, nil)
+	typ, delta := events.next(t)
+	if typ != "delta" || len(delta.Changes) == 0 {
+		t.Fatalf("after context flip: event %q %+v", typ, delta)
+	}
+	scores := subScores(snap.Results)
+	for _, ch := range delta.Changes {
+		scores[ch.ID] = ch.Score
+	}
+	for _, id := range delta.Removed {
+		delete(scores, id)
+	}
+	sameScoreMaps(t, scores, wantScores(t, srv, "peter"), "SSE delta patch")
+
+	call(t, ts, "DELETE", "/v1/subscriptions/"+info.ID, "", http.StatusOK, nil)
+	typ, _ = events.next(t)
+	if typ != "unsubscribed" {
+		t.Fatalf("terminal event %q, want unsubscribed", typ)
+	}
+
+	// After the teardown event the server closes the stream (the SSE
+	// frame terminator's blank line is the only thing left to read).
+	for events.scan.Scan() {
+		if line := events.scan.Text(); line != "" {
+			t.Fatalf("stream carried data after unsubscribed: %q", line)
+		}
+	}
+}
+
+// TestHTTPSubscriptionStreamDetach: dropping the SSE connection detaches
+// the consumer (the subscription survives) and a reconnect gets a fresh
+// snapshot.
+func TestHTTPSubscriptionStreamDetach(t *testing.T) {
+	_, ts := subHTTPServer(t, 0)
+
+	var info SubscriptionInfo
+	call(t, ts, "POST", "/v1/subscriptions",
+		`{"user":"peter","candidates":["tv00","tv01","tv02"]}`, http.StatusCreated, &info)
+
+	open := func() *http.Response {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/v1/subscriptions/" + info.ID + "/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream status %d", resp.StatusCode)
+		}
+		return resp
+	}
+	resp := open()
+	events := &sseReader{scan: bufio.NewScanner(resp.Body)}
+	if typ, _ := events.next(t); typ != "snapshot" {
+		t.Fatalf("opening event %q", typ)
+	}
+	resp.Body.Close() // client vanishes mid-stream
+
+	// The server notices the dead connection and releases the attach
+	// slot; a reconnect must eventually succeed with a fresh snapshot.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		req, err := http.NewRequest("GET", ts.URL+"/v1/subscriptions/"+info.ID+"/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp2, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp2.StatusCode == http.StatusOK {
+			events2 := &sseReader{scan: bufio.NewScanner(resp2.Body)}
+			if typ, _ := events2.next(t); typ != "snapshot" {
+				t.Fatalf("reconnect opening event %q", typ)
+			}
+			resp2.Body.Close()
+			return
+		}
+		resp2.Body.Close()
+		if resp2.StatusCode != http.StatusConflict {
+			t.Fatalf("reconnect status %d", resp2.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("attach slot never released after client disconnect")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -71,9 +71,14 @@ for i in 0 1 2 3 4 5 6 7; do
   [ "$N" -ge 1 ] || fail "rank for $USER returned $N results"
 done
 # A repeated identical rank must be served from the shard's cache.
-CACHED=$(jget "$BASE/v1/rank?user=person0000&target=TvProgram&limit=3" '.cached')
-CACHED=$(jget "$BASE/v1/rank?user=person0000&target=TvProgram&limit=3" '.cached')
+CACHED=$(jsend POST "$BASE/v1/rank" '{"user":"person0000","target":"TvProgram","limit":3}' '.cached')
+CACHED=$(jsend POST "$BASE/v1/rank" '{"user":"person0000","target":"TvProgram","limit":3}' '.cached')
 [ "$CACHED" = "true" ] || fail "repeated rank not cached"
+# The deprecated GET surface still answers, and says so: Deprecation +
+# Sunset headers steer clients to POST /v1/rank.
+DEPHDR=$(curl -fsS -D - -o /dev/null "$BASE/v1/rank?user=person0000&target=TvProgram&limit=3")
+echo "$DEPHDR" | grep -qi '^Deprecation: true' || fail "GET /v1/rank missing Deprecation header"
+echo "$DEPHDR" | grep -qi '^Sunset: ' || fail "GET /v1/rank missing Sunset header"
 # Batched rank: one request, several targets/candidate lists, per-item results.
 NBATCH=$(jsend POST "$BASE/v1/rank/batch" \
   '{"user":"person0000","items":[{"target":"TvProgram","limit":3},{"candidates":["tv000","tv001"]}]}' \
@@ -122,7 +127,7 @@ FP=$(jget "$BASE/v1/sessions/person0000" '.fingerprint')
 jsend PUT "$BASE/v1/sessions/person0000/context" \
   '{"measurements":[{"concept":"BenchCtx0","prob":1}]}' '.fingerprint' >/dev/null \
   || fail "session set after restore"
-N=$(jget "$BASE/v1/rank?user=person0000&target=TvProgram&limit=3" '.results | length')
+N=$(jsend POST "$BASE/v1/rank" '{"user":"person0000","target":"TvProgram","limit":3}' '.results | length')
 [ "$N" -ge 1 ] || fail "rank after restore returned $N results"
 JAPPENDS=$(jget "$BASE/v1/stats" '.journal.appends')
 [ "$JAPPENDS" -ge 1 ] || fail "journal stats missing after restore (appends=$JAPPENDS)"

@@ -108,7 +108,7 @@ snapshot_state() {
   for i in $(seq 0 $((NUSERS - 1))); do
     u=$(printf 'user%03d' "$i")
     jget "$1/v1/sessions/$u" '.fingerprint' >"$STATE/$2.fp.$u"
-    jget "$1/v1/rank?user=$u&target=TvProgram&limit=0" '.results' >"$STATE/$2.scores.$u"
+    jsend POST "$1/v1/rank" "{\"user\":\"$u\",\"target\":\"TvProgram\",\"limit\":0}" '.results' >"$STATE/$2.scores.$u"
   done
   jget "$1/v1/rules" '.rules | sort_by(.name)' >"$STATE/$2.rules"
 }
@@ -146,7 +146,7 @@ QUARS=$(jget "$BASE/v1/stats" '.health.quarantines')
 # Reads for every user — including those homed on shard 1 — keep working.
 for i in $(seq 0 $((NUSERS - 1))); do
   u=$(printf 'user%03d' "$i")
-  curl -fsS "$BASE/v1/rank?user=$u&target=TvProgram&limit=3" >/dev/null \
+  curl -fsS -X POST "$BASE/v1/rank" -d "{\"user\":\"$u\",\"target\":\"TvProgram\",\"limit\":3}" >/dev/null \
     || fail "rank for $u failed while shard 1 quarantined"
 done
 # Writes keep landing on the healthy replicas (absorbed, not errored).

@@ -76,7 +76,7 @@ start_traffic() {
     i=0
     while :; do
       u=$(printf 'user%03d' $((i % NUSERS)))
-      curl -fsS "$BASE/v1/rank?user=$u&target=TvProgram&limit=5" >/dev/null 2>&1 || true
+      curl -fsS -X POST "$BASE/v1/rank" -d "{\"user\":\"$u\",\"target\":\"TvProgram\",\"limit\":5}" >/dev/null 2>&1 || true
       i=$((i + 1))
     done
   ) &
@@ -102,7 +102,7 @@ snapshot_state() {
   for i in $(seq 0 $((NUSERS - 1))); do
     u=$(printf 'user%03d' "$i")
     jget "$BASE/v1/sessions/$u" '.fingerprint' >"$STATE/$1.fp.$u"
-    jget "$BASE/v1/rank?user=$u&target=TvProgram&limit=0" '.results' >"$STATE/$1.scores.$u"
+    jsend POST "$BASE/v1/rank" "{\"user\":\"$u\",\"target\":\"TvProgram\",\"limit\":0}" '.results' >"$STATE/$1.scores.$u"
   done
 }
 

@@ -67,11 +67,12 @@ wait_healthy
 echo "=== request-ID + JSON-error contract ==="
 HDR=$(curl -fsS -D - -o /dev/null -H 'X-Request-ID: smoke-trace-1' "$BASE/healthz")
 echo "$HDR" | grep -qi '^X-Request-ID: smoke-trace-1' || fail "inbound X-Request-ID not echoed"
-# An error response is JSON and carries the request id.
-ERR=$(curl -sS -H 'X-Request-ID: smoke-trace-2' "$BASE/v1/rank?user=&target=")
-echo "$ERR" | jq -e '.request_id == "smoke-trace-2" and (.error | length > 0)' >/dev/null \
-  || fail "error body not JSON with request_id: $ERR"
-CT=$(curl -sS -o /dev/null -w '%{content_type}' "$BASE/v1/rank?user=&target=")
+# An error response is the canonical envelope: JSON with the request id
+# and a machine-readable code.
+ERR=$(curl -sS -X POST -H 'X-Request-ID: smoke-trace-2' "$BASE/v1/rank" -d '{"user":"","target":""}')
+echo "$ERR" | jq -e '.request_id == "smoke-trace-2" and (.error | length > 0) and .code == "bad_request"' >/dev/null \
+  || fail "error body not the canonical envelope: $ERR"
+CT=$(curl -sS -o /dev/null -w '%{content_type}' -X POST "$BASE/v1/rank" -d '{"user":"","target":""}')
 [ "$CT" = "application/json" ] || fail "error Content-Type = $CT, want application/json"
 MINTED=$(curl -fsS -D - -o /dev/null "$BASE/healthz" | sed -n 's/^[Xx]-[Rr]equest-[Ii][Dd]: *//p' | tr -d '\r')
 [ -n "$MINTED" ] || fail "no X-Request-ID minted when none supplied"
@@ -114,8 +115,8 @@ for series in \
   'carserve_plan_cache_hit_ratio' \
   'carserve_journal_appends_total' \
   'carserve_journal_batch_records_bucket' \
-  'carserve_http_requests_total{route="GET /v1/rank",code="200"}' \
-  'carserve_http_requests_total{route="GET /v1/rank",code="429"}' \
+  'carserve_http_requests_total{route="POST /v1/rank",code="200"}' \
+  'carserve_http_requests_total{route="POST /v1/rank",code="429"}' \
   'carserve_admitted_total' \
   'carserve_inflight_requests' \
   'carserve_sessions' \
